@@ -1,0 +1,133 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+namespace roarray::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--locations") == 0) {
+      opts.locations = std::atoll(need_value("--locations"));
+    } else if (std::strcmp(argv[i], "--packets") == 0) {
+      opts.packets = std::atoll(need_value("--packets"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (std::strcmp(argv[i], "--strict-baselines") == 0) {
+      opts.strict_baselines = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("options: --locations N --packets P --seed S --strict-baselines\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (opts.locations < 1 || opts.packets < 1) {
+    std::fprintf(stderr, "locations and packets must be >= 1\n");
+    std::exit(2);
+  }
+  return opts;
+}
+
+const char* system_name(System s) {
+  switch (s) {
+    case System::kRoArray: return "ROArray";
+    case System::kSpotfi: return "SpotFi";
+    case System::kArrayTrack: return "ArrayTrack";
+  }
+  return "?";
+}
+
+bool estimate_direct_aoa(System system, const sim::ApMeasurement& m,
+                         const dsp::ArrayConfig& array_cfg, double& aoa_deg,
+                         bool strict) {
+  switch (system) {
+    case System::kRoArray: {
+      core::RoArrayConfig cfg;
+      cfg.solver.max_iterations = 300;
+      const core::RoArrayResult r =
+          core::roarray_estimate(m.burst.csi, cfg, array_cfg);
+      if (!r.valid) return false;
+      aoa_deg = r.direct.aoa_deg;
+      return true;
+    }
+    case System::kSpotfi: {
+      music::SpotfiConfig cfg;
+      if (strict) {
+        cfg.num_paths = 5;           // footnote 8: K hardwired to 5
+        cfg.adaptive_order = false;
+        cfg.min_cluster_weight_ratio = 0.0;
+        cfg.edge_exclusion_deg = 0.0;
+      }
+      const music::SpotfiResult r =
+          music::spotfi_estimate(m.burst.csi, cfg, array_cfg);
+      if (!r.valid) return false;
+      aoa_deg = r.direct_aoa_deg;
+      return true;
+    }
+    case System::kArrayTrack: {
+      const music::ArrayTrackResult r = music::arraytrack_estimate(
+          m.burst.csi, music::ArrayTrackConfig{}, array_cfg);
+      if (!r.valid) return false;
+      aoa_deg = r.direct_aoa_deg;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SystemErrors> run_band(const sim::Testbed& testbed,
+                                   const std::vector<sim::Vec2>& clients,
+                                   sim::SnrBand band,
+                                   const std::vector<System>& systems,
+                                   const BenchOptions& opts) {
+  std::vector<SystemErrors> out(systems.size());
+  std::mt19937_64 rng(opts.seed ^ (static_cast<std::uint64_t>(band) << 32));
+
+  loc::LocalizeConfig lcfg;
+  lcfg.room = testbed.room;
+  lcfg.grid_step_m = 0.1;
+
+  sim::ScenarioConfig scfg = sim::scenario_for_band(band);
+  scfg.num_packets = opts.packets;
+
+  for (const sim::Vec2& client : clients) {
+    const auto ms = sim::generate_measurements(testbed, client, scfg, rng);
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+      std::vector<loc::ApObservation> obs;
+      for (const sim::ApMeasurement& m : ms) {
+        double aoa = 0.0;
+        if (!estimate_direct_aoa(systems[s], m, scfg.array, aoa,
+                                 opts.strict_baselines)) {
+          continue;
+        }
+        out[s].aoa_deg.push_back(
+            dsp::angle_diff_deg(aoa, m.true_direct_aoa_deg));
+        obs.push_back({m.pose, aoa, m.rssi_weight});
+      }
+      const loc::LocalizeResult fix = loc::localize(obs, lcfg);
+      if (fix.valid) {
+        out[s].localization_m.push_back(
+            channel::distance(fix.position, client));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> cdf_fractions() {
+  return {0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+}
+
+}  // namespace roarray::bench

@@ -1,0 +1,66 @@
+// Shared scaffolding for the figure-reproduction benches: command-line
+// options, the three-system evaluation loop, and result collection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/roarray.hpp"
+#include "loc/localize.hpp"
+#include "music/arraytrack.hpp"
+#include "music/spotfi.hpp"
+#include "sim/scenario.hpp"
+#include "sim/testbed.hpp"
+
+namespace roarray::bench {
+
+using linalg::index_t;
+
+/// Options shared by the figure benches. Defaults are sized so each
+/// bench finishes in a couple of minutes on one core; pass --locations
+/// 100 (or more) for paper-scale runs.
+struct BenchOptions {
+  index_t locations = 15;   ///< client test locations per SNR band.
+  index_t packets = 15;     ///< packets per measurement (paper: 15).
+  std::uint64_t seed = 7;   ///< RNG seed (deterministic runs).
+  /// Run the baselines in their strict historical configuration (SpotFi
+  /// with fixed K = 5, no candidate gating) instead of the strengthened
+  /// defaults this library ships.
+  bool strict_baselines = false;
+};
+
+/// Parses --locations N / --packets P / --seed S / --strict-baselines;
+/// exits on bad input.
+[[nodiscard]] BenchOptions parse_options(int argc, char** argv);
+
+/// Which estimator to run.
+enum class System { kRoArray, kSpotfi, kArrayTrack };
+
+[[nodiscard]] const char* system_name(System s);
+
+/// Per-system error samples accumulated over locations.
+struct SystemErrors {
+  std::vector<double> localization_m;  ///< one per location.
+  std::vector<double> aoa_deg;         ///< one per (location, AP).
+};
+
+/// Estimates the direct-path AoA with the given system. Returns false
+/// if the estimator produced nothing usable. `strict` selects the
+/// historical baseline configuration (see BenchOptions).
+[[nodiscard]] bool estimate_direct_aoa(System system,
+                                       const sim::ApMeasurement& m,
+                                       const dsp::ArrayConfig& array_cfg,
+                                       double& aoa_deg, bool strict = false);
+
+/// Runs `systems` over every location at the given SNR band and collects
+/// localization + AoA errors. One deterministic RNG stream per call.
+[[nodiscard]] std::vector<SystemErrors> run_band(
+    const sim::Testbed& testbed, const std::vector<sim::Vec2>& clients,
+    sim::SnrBand band, const std::vector<System>& systems,
+    const BenchOptions& opts);
+
+/// The three-band fractions used by every CDF table.
+[[nodiscard]] std::vector<double> cdf_fractions();
+
+}  // namespace roarray::bench

@@ -1,0 +1,104 @@
+// Figure 2: SpotFi (MUSIC) AoA spectra for a LoS path fixed at 150 deg
+// under high (18 dB), medium (7 dB), low (2 dB), and very low (-3 dB)
+// SNR — sharpness and accuracy degrade as SNR falls. Also prints the
+// ROArray sparse spectrum at the same SNRs, previewing Section III.
+#include <cstdio>
+#include <iostream>
+#include <random>
+
+#include "channel/csi.hpp"
+#include "channel/multipath.hpp"
+#include "core/roarray.hpp"
+#include "eval/report.hpp"
+#include "music/spotfi.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace roarray;
+using linalg::cxd;
+using linalg::index_t;
+
+/// The paper's Fig. 2 geometry: direct path at 150 deg plus reflections.
+std::vector<channel::Path> figure2_channel() {
+  channel::Path direct;
+  direct.aoa_deg = 150.0;
+  direct.toa_s = 45e-9;
+  direct.gain = cxd{1.0, 0.0};
+  channel::Path r1;
+  r1.aoa_deg = 75.0;
+  r1.toa_s = 190e-9;
+  r1.gain = cxd{0.4, 0.2};
+  channel::Path r2;
+  r2.aoa_deg = 40.0;
+  r2.toa_s = 330e-9;
+  r2.gain = cxd{0.2, -0.15};
+  return {direct, r1, r2};
+}
+
+double beamwidth_deg(const dsp::Spectrum1d& spec, double half_level = 0.5) {
+  // Width of the region around the global peak above half_level.
+  index_t peak = 0;
+  for (index_t i = 0; i < spec.values.size(); ++i) {
+    if (spec.values[i] > spec.values[peak]) peak = i;
+  }
+  index_t lo = peak;
+  while (lo > 0 && spec.values[lo - 1] >= half_level) --lo;
+  index_t hi = peak;
+  while (hi + 1 < spec.values.size() && spec.values[hi + 1] >= half_level) ++hi;
+  return spec.grid[hi] - spec.grid[lo];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  const dsp::ArrayConfig arr;
+  const auto paths = figure2_channel();
+
+  std::printf("Figure 2 reproduction: AoA spectra vs SNR (true LoS at 150 deg)\n");
+  std::printf("paper shape: sharp+accurate at 18/7 dB, ~12 deg off at 2 dB, "
+              "broken below 0 dB\n\n");
+
+  const double snrs[] = {18.0, 7.0, 2.0, -3.0};
+  for (double snr : snrs) {
+    std::mt19937_64 rng(opts.seed);
+    channel::BurstConfig bc;
+    bc.num_packets = opts.packets;
+    bc.snr_db = snr;
+    bc.path_phase_jitter_rad = 0.3;
+    const auto burst = channel::generate_burst(paths, arr, bc, rng);
+
+    // SpotFi / MUSIC AoA spectrum (joint spectrum marginalized over ToA).
+    const music::SpotfiResult sf =
+        music::spotfi_estimate(burst.csi, music::SpotfiConfig{}, arr, true);
+    dsp::Spectrum1d music_spec = sf.first_packet_spectrum.aoa_marginal();
+    music_spec.normalize();
+
+    // ROArray sparse spectrum over the same burst.
+    core::RoArrayConfig rcfg;
+    rcfg.solver.max_iterations = 300;
+    const core::RoArrayResult ro = core::roarray_estimate(burst.csi, rcfg, arr);
+    dsp::Spectrum1d ro_spec = ro.spectrum.aoa_marginal();
+    ro_spec.normalize();
+
+    std::printf("== SNR %.0f dB ==\n", snr);
+    std::printf("  MUSIC/SpotFi: direct-path est %.1f deg (err %.1f), "
+                "half-power width %.1f deg\n",
+                sf.direct_aoa_deg,
+                dsp::angle_diff_deg(sf.direct_aoa_deg, 150.0),
+                beamwidth_deg(music_spec));
+    std::printf("  ROArray:      est %.1f deg (err %.1f), direct-path pick %s\n",
+                ro.direct.aoa_deg, dsp::angle_diff_deg(ro.direct.aoa_deg, 150.0),
+                ro.valid ? "valid" : "invalid");
+    std::printf("  MUSIC spectrum sketch (0..180 deg):\n");
+    std::vector<double> xs, ys;
+    for (index_t i = 0; i < music_spec.values.size(); ++i) {
+      xs.push_back(music_spec.grid[i]);
+      ys.push_back(music_spec.values[i]);
+    }
+    eval::print_spectrum_sketch(std::cout, xs, ys, 6);
+    std::printf("\n");
+  }
+  return 0;
+}

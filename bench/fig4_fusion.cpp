@@ -1,0 +1,100 @@
+// Figure 4: joint ToA&AoA spectra from two individual packets of the
+// same static channel carry different packet-detection delays ((a), (b)
+// show the peak at different ToAs); after delay estimation and
+// 30-packet fusion the spectrum is sharper and stable ((c)).
+#include <cstdio>
+#include <random>
+
+#include "channel/csi.hpp"
+#include "core/roarray.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace roarray;
+using linalg::cxd;
+using linalg::index_t;
+
+std::vector<channel::Path> fig4_channel() {
+  channel::Path direct;
+  direct.aoa_deg = 100.0;
+  direct.toa_s = 60e-9;
+  direct.gain = cxd{1.0, 0.0};
+  channel::Path refl;
+  refl.aoa_deg = 45.0;
+  refl.toa_s = 260e-9;
+  refl.gain = cxd{0.5, 0.25};
+  return {direct, refl};
+}
+
+void print_peaks(const char* name, const core::RoArrayResult& r) {
+  std::printf("%s:\n", name);
+  for (const auto& p : r.paths) {
+    std::printf("  path at aoa %.0f deg, toa %.0f ns, power %.2f\n",
+                p.aoa_deg, p.toa_s * 1e9, p.power);
+  }
+  std::printf("  direct pick: %.0f deg @ %.0f ns\n", r.direct.aoa_deg,
+              r.direct.toa_s * 1e9);
+}
+
+/// Spectrum concentration: peak energy fraction (sharper = higher).
+double concentration(const core::RoArrayResult& r) {
+  double total = 0.0;
+  for (index_t j = 0; j < r.spectrum.values.cols(); ++j) {
+    for (index_t i = 0; i < r.spectrum.values.rows(); ++i) {
+      total += r.spectrum.values(i, j);
+    }
+  }
+  return total > 0.0 ? 1.0 / total : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::parse_options(argc, argv);
+  const dsp::ArrayConfig arr;
+  const auto paths = fig4_channel();
+
+  std::mt19937_64 rng(opts.seed);
+  channel::BurstConfig bc;
+  bc.num_packets = 30;
+  bc.snr_db = 10.0;
+  bc.max_detection_delay_s = 200e-9;
+  bc.path_phase_jitter_rad = 0.3;
+  const auto burst = channel::generate_burst(paths, arr, bc, rng);
+
+  std::printf("Figure 4 reproduction: per-packet detection delays vs fusion\n");
+  std::printf("true channel: direct (100 deg, 60 ns), reflection (45 deg, 260 ns)\n");
+  std::printf("injected per-packet detection delay: uniform [0, 200] ns\n\n");
+
+  // (a), (b): single packets without sanitization — absolute ToA includes
+  // each packet's own random delay.
+  core::RoArrayConfig raw;
+  raw.sanitize = false;
+  raw.solver.max_iterations = 300;
+  const std::vector<linalg::CMat> pkt_a = {burst.csi[0]};
+  const std::vector<linalg::CMat> pkt_b = {burst.csi[1]};
+  const auto ra = core::roarray_estimate(pkt_a, raw, arr);
+  const auto rb = core::roarray_estimate(pkt_b, raw, arr);
+  std::printf("injected delay packet A: %.0f ns, packet B: %.0f ns\n\n",
+              burst.detection_delays[0] * 1e9, burst.detection_delays[1] * 1e9);
+  print_peaks("(a) packet A, raw", ra);
+  print_peaks("(b) packet B, raw", rb);
+  std::printf("  -> same channel, different apparent ToAs (delays differ by %.0f ns)\n\n",
+              std::abs(burst.detection_delays[0] - burst.detection_delays[1]) * 1e9);
+
+  // (c): sanitize + l1-SVD fusion over all 30 packets.
+  core::RoArrayConfig fused;
+  fused.solver.max_iterations = 300;
+  const auto rc = core::roarray_estimate(burst.csi, fused, arr);
+  print_peaks("(c) 30 packets, delay-corrected + fused", rc);
+  std::printf("\nconcentration (peak energy fraction): packet A %.3f, "
+              "packet B %.3f, fused %.3f\n",
+              concentration(ra), concentration(rb), concentration(rc));
+  std::printf("paper shape: (c) is sharper/more accurate; direct AoA error "
+              "fused = %.1f deg vs raw %.1f / %.1f deg\n",
+              dsp::angle_diff_deg(rc.direct.aoa_deg, 100.0),
+              dsp::angle_diff_deg(ra.direct.aoa_deg, 100.0),
+              dsp::angle_diff_deg(rb.direct.aoa_deg, 100.0));
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Figure 8b: localization-error CDFs under three phase-calibration
+// schemes: offsets estimated with ROArray's sparse AoA spectrum, with a
+// MUSIC spectrum (Phaser-style), and no calibration at all.
+// Paper shape: no calibration is worst (~2.0 m median); ROArray-driven
+// calibration beats MUSIC-driven by ~0.7 m median.
+#include <iostream>
+#include <random>
+
+#include "core/calibration.hpp"
+#include "core/roarray.hpp"
+#include "eval/cdf.hpp"
+#include "eval/report.hpp"
+#include "loc/localize.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace roarray;
+
+enum class Scheme { kRoArrayCal, kMusicCal, kNone };
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kRoArrayCal: return "ROArray cal";
+    case Scheme::kMusicCal: return "MUSIC cal";
+    case Scheme::kNone: return "no cal";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+
+  const sim::Testbed tb = sim::make_paper_testbed();
+  std::mt19937_64 rng(opts.seed);
+
+  // Static per-antenna phase offsets, fixed for the whole experiment
+  // (these appear whenever the AP changes channel).
+  std::uniform_real_distribution<double> u(0.0, 2.0 * dsp::kPi);
+  const std::vector<double> true_offsets = {0.0, u(rng), u(rng)};
+  std::printf("Figure 8b reproduction: calibration schemes "
+              "(true offsets: %.2f, %.2f, %.2f rad)\n\n",
+              true_offsets[0], true_offsets[1], true_offsets[2]);
+
+  sim::ScenarioConfig scfg;
+  scfg.num_packets = opts.packets;
+  scfg.snr_band = sim::SnrBand::kHigh;
+  scfg.antenna_phase_offsets_rad = true_offsets;
+
+  // Calibration session: a transmitter parked at a surveyed spot with
+  // clear line of sight to every AP (that is the point of surveying it).
+  const sim::Vec2 session_client{9.0, 6.0};
+  sim::ScenarioConfig session_cfg = scfg;
+  session_cfg.los_block_probability = 0.0;
+  const auto session =
+      sim::generate_measurements(tb, session_client, session_cfg, rng);
+
+  // Per-AP offset estimates for both spectrum-driven schemes.
+  std::vector<std::vector<double>> ro_offsets, mu_offsets;
+  for (const sim::ApMeasurement& m : session) {
+    const double known = m.pose.aoa_of_point(session_client);
+    core::CalibrationConfig ccfg;
+    ccfg.method = core::CalibrationMethod::kRoArray;
+    ro_offsets.push_back(
+        core::estimate_phase_offsets(m.burst.csi, known, scfg.array, ccfg)
+            .offsets_rad);
+    ccfg.method = core::CalibrationMethod::kMusic;
+    mu_offsets.push_back(
+        core::estimate_phase_offsets(m.burst.csi, known, scfg.array, ccfg)
+            .offsets_rad);
+  }
+  std::printf("calibration sessions done (6 APs x 2 schemes)\n");
+
+  // Localization sweep under each scheme.
+  const auto clients = sim::sample_client_locations(opts.locations, tb.room, rng);
+  scfg.snr_band = sim::SnrBand::kMedium;
+
+  loc::LocalizeConfig lcfg;
+  lcfg.room = tb.room;
+  lcfg.grid_step_m = 0.1;
+
+  const Scheme schemes[] = {Scheme::kRoArrayCal, Scheme::kMusicCal,
+                            Scheme::kNone};
+  std::vector<std::vector<double>> errors(3);
+
+  for (const sim::Vec2& client : clients) {
+    const auto ms = sim::generate_measurements(tb, client, scfg, rng);
+    for (std::size_t s = 0; s < 3; ++s) {
+      std::vector<loc::ApObservation> obs;
+      for (std::size_t a = 0; a < ms.size(); ++a) {
+        std::vector<linalg::CMat> packets = ms[a].burst.csi;
+        if (schemes[s] == Scheme::kRoArrayCal) {
+          for (auto& c : packets) {
+            c = core::apply_phase_correction(c, ro_offsets[a]);
+          }
+        } else if (schemes[s] == Scheme::kMusicCal) {
+          for (auto& c : packets) {
+            c = core::apply_phase_correction(c, mu_offsets[a]);
+          }
+        }
+        core::RoArrayConfig rcfg;
+        rcfg.solver.max_iterations = 300;
+        const core::RoArrayResult r =
+            core::roarray_estimate(packets, rcfg, scfg.array);
+        if (!r.valid) continue;
+        obs.push_back({ms[a].pose, r.direct.aoa_deg, ms[a].rssi_weight});
+      }
+      const loc::LocalizeResult fix = loc::localize(obs, lcfg);
+      if (fix.valid) {
+        errors[s].push_back(channel::distance(fix.position, client));
+      }
+    }
+  }
+
+  std::vector<eval::NamedCdf> curves;
+  for (std::size_t s = 0; s < 3; ++s) {
+    curves.push_back({scheme_name(schemes[s]), eval::Cdf(errors[s])});
+  }
+  eval::print_cdf_table(std::cout, "Fig 8b, calibration schemes", curves,
+                        bench::cdf_fractions(), "m");
+  eval::print_cdf_summary(std::cout, curves, "m");
+  std::printf("\npaper shape: no-cal worst (~2.0 m median); ROArray-driven "
+              "cal ~0.7 m better than MUSIC-driven.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8c: ROArray localization-error CDFs as the mobile client's
+// antenna polarization deviates from the APs' plane: 0 deg, (0, 20] deg,
+// (20, 45] deg. Paper medians degrade to 2.21 m and 4.71 m for the two
+// deviation ranges — the 1-D array manifold cannot absorb the mismatch.
+#include <iostream>
+#include <random>
+
+#include "eval/cdf.hpp"
+#include "eval/report.hpp"
+#include "loc/localize.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace roarray;
+  const auto opts = bench::parse_options(argc, argv);
+
+  const sim::Testbed tb = sim::make_paper_testbed();
+  std::mt19937_64 rng(opts.seed);
+  const auto clients =
+      sim::sample_client_locations(opts.locations, tb.room, rng);
+
+  loc::LocalizeConfig lcfg;
+  lcfg.room = tb.room;
+  lcfg.grid_step_m = 0.1;
+
+  std::printf("Figure 8c reproduction: ROArray accuracy vs polarization "
+              "deviation (%lld locations)\n\n",
+              static_cast<long long>(opts.locations));
+
+  struct Band {
+    const char* name;
+    double lo_deg;
+    double hi_deg;
+  };
+  const Band bands[] = {{"0 deg", 0.0, 0.0},
+                        {"0-20 deg", 1.0, 20.0},
+                        {"20-45 deg", 20.0, 45.0}};
+
+  std::vector<eval::NamedCdf> curves;
+  for (const Band& band : bands) {
+    std::uniform_real_distribution<double> dev_deg(band.lo_deg, band.hi_deg);
+    std::vector<double> errors;
+    for (const sim::Vec2& client : clients) {
+      sim::ScenarioConfig scfg;
+      scfg.num_packets = opts.packets;
+      scfg.snr_band = sim::SnrBand::kHigh;
+      scfg.polarization_deviation_rad =
+          dsp::deg_to_rad(band.hi_deg > 0.0 ? dev_deg(rng) : 0.0);
+      const auto ms = sim::generate_measurements(tb, client, scfg, rng);
+      std::vector<loc::ApObservation> obs;
+      for (const sim::ApMeasurement& m : ms) {
+        double aoa = 0.0;
+        if (!bench::estimate_direct_aoa(bench::System::kRoArray, m, scfg.array,
+                                        aoa)) {
+          continue;
+        }
+        obs.push_back({m.pose, aoa, m.rssi_weight});
+      }
+      const loc::LocalizeResult fix = loc::localize(obs, lcfg);
+      if (fix.valid) errors.push_back(channel::distance(fix.position, client));
+    }
+    curves.push_back({band.name, eval::Cdf(errors)});
+  }
+
+  eval::print_cdf_table(std::cout, "Fig 8c, polarization deviation", curves,
+                        bench::cdf_fractions(), "m");
+  eval::print_cdf_summary(std::cout, curves, "m");
+  std::printf("\npaper reference medians: ~1 m at 0 deg, 2.21 m at 0-20 deg, "
+              "4.71 m at 20-45 deg.\n");
+  return 0;
+}

@@ -1,0 +1,300 @@
+// Micro-benchmarks (google-benchmark): solver and substrate costs,
+// including the design-choice ablations called out in DESIGN.md —
+// Kronecker vs dense steering operator, FISTA vs ISTA vs ADMM, and the
+// Section III-C complexity scaling of the joint solve.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "channel/csi.hpp"
+#include "core/roarray.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/sanitize.hpp"
+#include "dsp/steering.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/svd.hpp"
+#include "music/covariance.hpp"
+#include "music/music.hpp"
+#include "music/smoothing.hpp"
+#include "sparse/admm.hpp"
+#include "sparse/fista.hpp"
+#include "sparse/l1svd.hpp"
+#include "sparse/omp.hpp"
+#include "sparse/reweighted.hpp"
+#include "sparse/operator.hpp"
+
+namespace {
+
+using namespace roarray;
+using linalg::CMat;
+using linalg::CVec;
+using linalg::cxd;
+using linalg::index_t;
+
+const dsp::ArrayConfig kArray;
+
+CVec measurement_for(const dsp::ArrayConfig& arr, std::uint64_t seed) {
+  channel::Path d;
+  d.aoa_deg = 110.0;
+  d.toa_s = 60e-9;
+  d.gain = cxd{1.0, 0.0};
+  channel::Path r;
+  r.aoa_deg = 50.0;
+  r.toa_s = 240e-9;
+  r.gain = cxd{0.5, 0.2};
+  std::mt19937_64 rng(seed);
+  CMat csi = channel::synthesize_csi({d, r}, arr);
+  channel::add_noise(csi, 15.0, rng);
+  return core::stack_csi(csi);
+}
+
+void BM_SteeringMatrixJointBuild(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::steering_matrix_joint(aoa, toa, kArray));
+  }
+}
+BENCHMARK(BM_SteeringMatrixJointBuild)->Unit(benchmark::kMillisecond);
+
+/// Ablation: dense matvec on the materialized Eq. 16 matrix ...
+void BM_DenseOperatorApply(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::DenseOperator op(dsp::steering_matrix_joint(aoa, toa, kArray));
+  const CVec x(op.cols(), cxd{0.01, 0.01});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.apply(x));
+  }
+}
+BENCHMARK(BM_DenseOperatorApply)->Unit(benchmark::kMicrosecond);
+
+/// ... vs the Kronecker-structured operator (the design DESIGN.md keeps).
+void BM_KroneckerOperatorApply(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  const CVec x(op.cols(), cxd{0.01, 0.01});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.apply(x));
+  }
+}
+BENCHMARK(BM_KroneckerOperatorApply)->Unit(benchmark::kMicrosecond);
+
+/// Section III-C: joint-solve cost vs grid size (N_theta * N_tau).
+void BM_JointSolveScaling(benchmark::State& state) {
+  const auto ntheta = static_cast<index_t>(state.range(0));
+  const auto ntau = static_cast<index_t>(state.range(1));
+  const dsp::Grid aoa(0.0, 180.0, ntheta);
+  const dsp::Grid toa(0.0, 784e-9, ntau);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  const CVec y = measurement_for(kArray, 1);
+  sparse::SolveConfig cfg;
+  cfg.max_iterations = 100;
+  cfg.tolerance = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::solve_l1(op, y, cfg));
+  }
+  state.SetLabel("grid=" + std::to_string(ntheta) + "x" + std::to_string(ntau));
+}
+BENCHMARK(BM_JointSolveScaling)
+    ->Args({46, 25})
+    ->Args({91, 50})
+    ->Args({181, 50})
+    ->Unit(benchmark::kMillisecond);
+
+/// Ablation: the three solvers on the identical objective.
+void BM_SolverFista(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  const CVec y = measurement_for(kArray, 2);
+  sparse::SolveConfig cfg;
+  cfg.max_iterations = 400;
+  for (auto _ : state) {
+    const auto r = sparse::solve_l1(op, y, cfg);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_SolverFista)->Unit(benchmark::kMillisecond);
+
+void BM_SolverIsta(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  const CVec y = measurement_for(kArray, 2);
+  sparse::SolveConfig cfg;
+  cfg.algorithm = sparse::Algorithm::kIsta;
+  cfg.max_iterations = 400;
+  for (auto _ : state) {
+    const auto r = sparse::solve_l1(op, y, cfg);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_SolverIsta)->Unit(benchmark::kMillisecond);
+
+void BM_SolverAdmm(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  const CVec y = measurement_for(kArray, 2);
+  sparse::AdmmConfig cfg;
+  cfg.max_iterations = 200;
+  for (auto _ : state) {
+    const auto r = sparse::solve_l1_admm(op, y, cfg);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_SolverAdmm)->Unit(benchmark::kMillisecond);
+
+void BM_MusicJointSpectrum(benchmark::State& state) {
+  channel::Path d;
+  d.aoa_deg = 110.0;
+  d.toa_s = 60e-9;
+  d.gain = cxd{1.0, 0.0};
+  std::mt19937_64 rng(3);
+  CMat csi = channel::synthesize_csi({d}, kArray);
+  channel::add_noise(csi, 15.0, rng);
+  const music::SmoothingConfig sc;
+  CMat r = music::sample_covariance(music::smooth_csi(csi, sc));
+  r = music::forward_backward_average(r);
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(music::music_spectrum_joint(
+        r, 3, aoa, toa, kArray, sc.sub_antennas, sc.sub_carriers));
+  }
+}
+BENCHMARK(BM_MusicJointSpectrum)->Unit(benchmark::kMillisecond);
+
+void BM_EigHermitian(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> g(0.0, 1.0);
+  CMat b(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) b(i, j) = cxd{g(rng), g(rng)};
+  const CMat a = matmul(b, adjoint(b));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eig_hermitian(a));
+  }
+}
+BENCHMARK(BM_EigHermitian)->Arg(3)->Arg(30)->Arg(90)->Unit(benchmark::kMicrosecond);
+
+void BM_SvdSnapshots(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> g(0.0, 1.0);
+  CMat y(90, 30);
+  for (index_t j = 0; j < 30; ++j)
+    for (index_t i = 0; i < 90; ++i) y(i, j) = cxd{g(rng), g(rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::reduce_snapshots(y, 5));
+  }
+}
+BENCHMARK(BM_SvdSnapshots)->Unit(benchmark::kMillisecond);
+
+void BM_SanitizeCsi(benchmark::State& state) {
+  channel::Path d;
+  d.aoa_deg = 95.0;
+  d.toa_s = 80e-9;
+  d.gain = cxd{1.0, 0.0};
+  channel::CsiImpairments imp;
+  imp.detection_delay_s = 120e-9;
+  const CMat csi = channel::synthesize_csi({d}, kArray, imp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::sanitize_csi(csi, kArray));
+  }
+}
+BENCHMARK(BM_SanitizeCsi)->Unit(benchmark::kMicrosecond);
+
+/// Ablation: fuse-then-solve vs solve-every-packet at equal data volume.
+void BM_FusionVsPerPacket(benchmark::State& state) {
+  const bool fuse = state.range(0) == 1;
+  channel::Path d;
+  d.aoa_deg = 100.0;
+  d.toa_s = 60e-9;
+  d.gain = cxd{1.0, 0.0};
+  std::mt19937_64 rng(6);
+  channel::BurstConfig bc;
+  bc.num_packets = 15;
+  bc.snr_db = 10.0;
+  const auto burst = channel::generate_burst({d}, kArray, bc, rng);
+  core::RoArrayConfig cfg;
+  cfg.solver.max_iterations = 150;
+  for (auto _ : state) {
+    if (fuse) {
+      benchmark::DoNotOptimize(core::roarray_estimate(burst.csi, cfg, kArray));
+    } else {
+      for (const auto& pkt : burst.csi) {
+        const std::vector<CMat> one = {pkt};
+        benchmark::DoNotOptimize(core::roarray_estimate(one, cfg, kArray));
+      }
+    }
+  }
+  state.SetLabel(fuse ? "l1-SVD fusion (one solve)" : "per-packet (15 solves)");
+}
+BENCHMARK(BM_FusionVsPerPacket)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_SolverOmp(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  const CVec y = measurement_for(kArray, 2);
+  sparse::OmpConfig cfg;
+  cfg.max_atoms = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::solve_omp(op, y, cfg));
+  }
+}
+BENCHMARK(BM_SolverOmp)->Unit(benchmark::kMillisecond);
+
+void BM_SolverReweighted(benchmark::State& state) {
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  const CVec y = measurement_for(kArray, 2);
+  sparse::ReweightedConfig cfg;
+  cfg.rounds = 3;
+  cfg.inner.max_iterations = 150;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::solve_reweighted_l1(op, y, cfg));
+  }
+}
+BENCHMARK(BM_SolverReweighted)->Unit(benchmark::kMillisecond);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  CVec x(n);
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = cxd{std::sin(0.1 * static_cast<double>(i)), 0.2};
+  }
+  for (auto _ : state) {
+    CVec copy = x;
+    dsp::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fft)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_PowerDelayProfile(benchmark::State& state) {
+  channel::Path d;
+  d.aoa_deg = 95.0;
+  d.toa_s = 120e-9;
+  d.gain = cxd{1.0, 0.0};
+  const CMat csi = channel::synthesize_csi({d}, kArray);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::power_delay_profile(csi, kArray));
+  }
+}
+BENCHMARK(BM_PowerDelayProfile)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Channel inspector: three views of the same simulated link —
+//   1. ground-truth ray-traced paths,
+//   2. the classical time-domain power-delay profile (IFFT of the CSI),
+//   3. ROArray's model-based joint AoA/ToA path estimates —
+// showing how the sparse estimator resolves what the PDP smears.
+#include <cstdio>
+#include <iostream>
+#include <random>
+
+#include "channel/csi.hpp"
+#include "channel/multipath.hpp"
+#include "core/roarray.hpp"
+#include "dsp/fft.hpp"
+#include "eval/report.hpp"
+#include "sim/testbed.hpp"
+
+int main() {
+  using namespace roarray;
+
+  const sim::Testbed tb = sim::make_paper_testbed();
+  const sim::Vec2 client{12.0, 4.0};
+  const channel::ApPose& ap = tb.aps[0];
+
+  channel::MultipathConfig mp;
+  mp.max_reflections = 1;
+  const dsp::ArrayConfig arr;
+  const auto paths =
+      channel::trace_paths(tb.room, ap, client, mp, arr, tb.scatterers);
+
+  std::printf("ground-truth paths (AP at (%.1f, %.1f), client at (%.1f, %.1f)):\n",
+              ap.position.x, ap.position.y, client.x, client.y);
+  for (const auto& p : paths) {
+    std::printf("  aoa %6.1f deg  toa %5.1f ns  |gain| %.3f  bounces %d\n",
+                p.aoa_deg, p.toa_s * 1e9, std::abs(p.gain), p.reflections);
+  }
+
+  std::mt19937_64 rng(3);
+  channel::BurstConfig bc;
+  bc.num_packets = 10;
+  bc.snr_db = 18.0;
+  bc.max_detection_delay_s = 0.0;  // keep absolute delays for the PDP view
+  const auto burst = channel::generate_burst(paths, arr, bc, rng);
+
+  // Time-domain view: power-delay profile of the first packet.
+  const dsp::PowerDelayProfile pdp =
+      dsp::power_delay_profile(burst.csi[0], arr);
+  std::printf("\npower-delay profile (IFFT of CSI, first packet):\n");
+  std::vector<double> xs, ys;
+  for (linalg::index_t k = 0; k < pdp.power.size() / 2; ++k) {
+    xs.push_back(pdp.delays_s[k] * 1e9);
+    ys.push_back(pdp.power[k]);
+  }
+  eval::print_spectrum_sketch(std::cout, xs, ys, 6);
+  std::printf("  (x axis: 0 .. %.0f ns)\n", xs.back());
+
+  // Model-based view: ROArray joint estimates over the fused burst.
+  core::RoArrayConfig cfg;
+  cfg.sanitize = false;  // no detection delay injected above
+  cfg.solver.max_iterations = 300;
+  const auto r = core::roarray_estimate(burst.csi, cfg, arr);
+  std::printf("\nROArray joint estimates (10 fused packets):\n");
+  for (const auto& p : r.paths) {
+    std::printf("  aoa %6.1f deg  toa %5.1f ns  power %.2f\n", p.aoa_deg,
+                p.toa_s * 1e9, p.power);
+  }
+  std::printf("direct pick: %.1f deg @ %.1f ns (truth %.1f deg @ %.1f ns)\n",
+              r.direct.aoa_deg, r.direct.toa_s * 1e9, paths.front().aoa_deg,
+              paths.front().toa_s * 1e9);
+  return 0;
+}

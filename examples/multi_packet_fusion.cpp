@@ -1,0 +1,63 @@
+// Multi-packet fusion: why coherent processing across the time domain
+// matters. Each packet of a burst carries a different unknown detection
+// delay, so raw per-packet ToA estimates scatter; after sanitization
+// ROArray fuses all packets with one l1-SVD group solve, yielding a
+// stable, sharper estimate (paper Section III-D and Fig. 4).
+#include <cstdio>
+#include <random>
+
+#include "channel/csi.hpp"
+#include "core/roarray.hpp"
+
+int main() {
+  using namespace roarray;
+  using linalg::cxd;
+
+  const dsp::ArrayConfig array_cfg;
+  channel::Path direct;
+  direct.aoa_deg = 95.0;
+  direct.toa_s = 70e-9;
+  direct.gain = cxd{1.0, 0.0};
+  channel::Path reflection;
+  reflection.aoa_deg = 150.0;
+  reflection.toa_s = 290e-9;
+  reflection.gain = cxd{0.45, 0.3};
+
+  std::mt19937_64 rng(7);
+  channel::BurstConfig burst_cfg;
+  burst_cfg.num_packets = 20;
+  burst_cfg.snr_db = 5.0;                      // a weak link
+  burst_cfg.max_detection_delay_s = 180e-9;    // heavy per-packet delays
+  burst_cfg.path_phase_jitter_rad = 0.3;
+  const auto burst =
+      channel::generate_burst({direct, reflection}, array_cfg, burst_cfg, rng);
+
+  // Raw per-packet estimates: ToA includes each packet's own delay.
+  std::printf("per-packet raw estimates (no delay correction):\n");
+  core::RoArrayConfig raw_cfg;
+  raw_cfg.sanitize = false;
+  raw_cfg.solver.max_iterations = 250;
+  for (int p = 0; p < 5; ++p) {
+    const std::vector<linalg::CMat> one = {burst.csi[static_cast<std::size_t>(p)]};
+    const auto r = core::roarray_estimate(one, raw_cfg, array_cfg);
+    std::printf("  packet %d: direct %.0f deg @ %4.0f ns   "
+                "(injected delay %.0f ns)\n",
+                p, r.direct.aoa_deg, r.direct.toa_s * 1e9,
+                burst.detection_delays[static_cast<std::size_t>(p)] * 1e9);
+  }
+
+  // Coherent fusion: sanitize every packet, reduce with l1-SVD, solve once.
+  core::RoArrayConfig fused_cfg;
+  fused_cfg.solver.max_iterations = 300;
+  const auto fused = core::roarray_estimate(burst.csi, fused_cfg, array_cfg);
+  std::printf("\nfused over %zu packets: direct %.0f deg @ %.0f ns "
+              "(truth %.0f deg; ToA re-biased to ~100 ns)\n",
+              burst.csi.size(), fused.direct.aoa_deg, fused.direct.toa_s * 1e9,
+              direct.aoa_deg);
+  std::printf("paths recovered:\n");
+  for (const auto& p : fused.paths) {
+    std::printf("  aoa %6.1f deg  toa %4.0f ns  power %.2f\n", p.aoa_deg,
+                p.toa_s * 1e9, p.power);
+  }
+  return 0;
+}

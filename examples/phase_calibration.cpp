@@ -1,0 +1,71 @@
+// Phase calibration: every channel switch leaves random static phase
+// offsets on the receive chains, which silently wreck AoA estimation.
+// This example injects offsets, estimates them with the ROArray- and
+// MUSIC-driven autocalibration (paper Section III-D, Fig. 8b), and
+// shows the AoA estimate before and after correction.
+#include <cstdio>
+#include <random>
+
+#include "channel/csi.hpp"
+#include "core/calibration.hpp"
+#include "core/roarray.hpp"
+
+int main() {
+  using namespace roarray;
+  using linalg::cxd;
+
+  const dsp::ArrayConfig array_cfg;
+
+  // Channel: direct path from a *known* calibration direction plus a
+  // reflection (calibration uses a transmitter at a surveyed spot).
+  const double known_aoa = 125.0;
+  channel::Path direct;
+  direct.aoa_deg = known_aoa;
+  direct.toa_s = 60e-9;
+  direct.gain = cxd{1.0, 0.0};
+  channel::Path reflection;
+  reflection.aoa_deg = 60.0;
+  reflection.toa_s = 220e-9;
+  reflection.gain = cxd{0.4, 0.2};
+
+  // Inject per-antenna phase offsets (radians).
+  const std::vector<double> true_offsets = {0.0, 2.2, 0.9};
+  std::mt19937_64 rng(11);
+  channel::BurstConfig burst_cfg;
+  burst_cfg.num_packets = 3;
+  burst_cfg.snr_db = 20.0;
+  burst_cfg.antenna_phase_offsets_rad = true_offsets;
+  const auto burst =
+      channel::generate_burst({direct, reflection}, array_cfg, burst_cfg, rng);
+
+  std::printf("injected offsets: %.2f, %.2f, %.2f rad\n", true_offsets[0],
+              true_offsets[1], true_offsets[2]);
+
+  // AoA estimate with uncorrected chains.
+  core::RoArrayConfig rcfg;
+  rcfg.solver.max_iterations = 300;
+  const auto dirty = core::roarray_estimate(burst.csi, rcfg, array_cfg);
+  std::printf("uncalibrated direct-path estimate: %.1f deg (truth %.1f)\n",
+              dirty.direct.aoa_deg, known_aoa);
+
+  // Estimate offsets with both spectrum-driven schemes.
+  for (const auto method : {core::CalibrationMethod::kRoArray,
+                            core::CalibrationMethod::kMusic}) {
+    core::CalibrationConfig ccfg;
+    ccfg.method = method;
+    const auto cal =
+        core::estimate_phase_offsets(burst.csi, known_aoa, array_cfg, ccfg);
+    std::vector<linalg::CMat> corrected;
+    for (const auto& c : burst.csi) {
+      corrected.push_back(core::apply_phase_correction(c, cal.offsets_rad));
+    }
+    const auto clean = core::roarray_estimate(corrected, rcfg, array_cfg);
+    std::printf("%s calibration: offsets %.2f, %.2f, %.2f rad -> "
+                "estimate %.1f deg\n",
+                method == core::CalibrationMethod::kRoArray ? "ROArray"
+                                                            : "MUSIC  ",
+                cal.offsets_rad[0], cal.offsets_rad[1], cal.offsets_rad[2],
+                clean.direct.aoa_deg);
+  }
+  return 0;
+}

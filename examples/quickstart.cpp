@@ -1,0 +1,53 @@
+// Quickstart: estimate the AoA/ToA of every multipath component from a
+// single simulated CSI packet and identify the direct path.
+//
+// This is the smallest end-to-end use of the public API:
+//   channel  -> simulate a 2-path indoor channel and one CSI packet
+//   core     -> run the ROArray sparse joint AoA/ToA estimator
+//   result   -> per-path estimates + the smallest-ToA (direct) path
+#include <cstdio>
+#include <random>
+
+#include "channel/csi.hpp"
+#include "core/roarray.hpp"
+
+int main() {
+  using namespace roarray;
+  using linalg::cxd;
+
+  // Intel 5300-like front end: 3 antennas x 30 subcarriers (the default).
+  const dsp::ArrayConfig array_cfg;
+
+  // A two-path channel: a direct path and one delayed reflection.
+  channel::Path direct;
+  direct.aoa_deg = 120.0;
+  direct.toa_s = 50e-9;
+  direct.gain = cxd{1.0, 0.0};
+  channel::Path reflection;
+  reflection.aoa_deg = 60.0;
+  reflection.toa_s = 230e-9;
+  reflection.gain = cxd{0.5, 0.3};
+
+  // One noisy CSI measurement at 15 dB SNR.
+  std::mt19937_64 rng(42);
+  linalg::CMat csi =
+      channel::synthesize_csi({direct, reflection}, array_cfg);
+  channel::add_noise(csi, 15.0, rng);
+
+  // Run ROArray: sparse recovery over the joint (AoA, ToA) grid.
+  core::RoArrayConfig cfg;  // defaults: 2-deg AoA grid, 16-ns ToA grid
+  const std::vector<linalg::CMat> packets = {csi};
+  const core::RoArrayResult result =
+      core::roarray_estimate(packets, cfg, array_cfg);
+
+  std::printf("recovered %zu paths (solver: %d iterations, %s):\n",
+              result.paths.size(), result.solver_iterations,
+              result.solver_converged ? "converged" : "max iterations");
+  for (const core::PathEstimate& p : result.paths) {
+    std::printf("  aoa %6.1f deg   toa %5.0f ns   power %.2f\n", p.aoa_deg,
+                p.toa_s * 1e9, p.power);
+  }
+  std::printf("direct path (smallest ToA): %.1f deg  [truth: %.1f deg]\n",
+              result.direct.aoa_deg, direct.aoa_deg);
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "channel/csi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/steering.hpp"
+
+namespace roarray::channel {
+
+using linalg::cxd;
+using linalg::index_t;
+
+CMat synthesize_csi(const std::vector<Path>& paths, const dsp::ArrayConfig& cfg,
+                    const CsiImpairments& imp) {
+  cfg.validate();
+  const index_t m = cfg.num_antennas;
+  const index_t l = cfg.num_subcarriers;
+  if (!imp.antenna_phase_offsets_rad.empty() &&
+      static_cast<index_t>(imp.antenna_phase_offsets_rad.size()) != m) {
+    throw std::invalid_argument("synthesize_csi: phase offset count != antennas");
+  }
+  if (imp.polarization_scale <= 0.0 || imp.polarization_scale > 1.0) {
+    throw std::invalid_argument("synthesize_csi: polarization_scale must be in (0,1]");
+  }
+
+  CMat c(m, l);
+  for (const Path& p : paths) {
+    const cxd lam = dsp::lambda_aoa(p.aoa_deg, cfg.spacing_over_wavelength());
+    const cxd gam = dsp::gamma_toa(p.toa_s + imp.detection_delay_s,
+                                   cfg.subcarrier_spacing_hz);
+    const cxd g = p.gain * imp.polarization_scale;
+    cxd gl{1.0, 0.0};
+    for (index_t sc = 0; sc < l; ++sc) {
+      cxd lm{1.0, 0.0};
+      for (index_t ant = 0; ant < m; ++ant) {
+        c(ant, sc) += g * gl * lm;
+        lm *= lam;
+      }
+      gl *= gam;
+    }
+  }
+  if (!imp.antenna_phase_offsets_rad.empty()) {
+    for (index_t ant = 0; ant < m; ++ant) {
+      const cxd rot = std::polar(1.0, imp.antenna_phase_offsets_rad[
+          static_cast<std::size_t>(ant)]);
+      for (index_t sc = 0; sc < l; ++sc) c(ant, sc) *= rot;
+    }
+  }
+  if (!imp.antenna_gains.empty()) {
+    if (static_cast<index_t>(imp.antenna_gains.size()) != m) {
+      throw std::invalid_argument("synthesize_csi: antenna gain count != antennas");
+    }
+    for (index_t ant = 0; ant < m; ++ant) {
+      const cxd g = imp.antenna_gains[static_cast<std::size_t>(ant)];
+      for (index_t sc = 0; sc < l; ++sc) c(ant, sc) *= g;
+    }
+  }
+  return c;
+}
+
+double mean_power(const CMat& csi) {
+  if (csi.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (index_t j = 0; j < csi.cols(); ++j)
+    for (index_t i = 0; i < csi.rows(); ++i) acc += std::norm(csi(i, j));
+  return acc / static_cast<double>(csi.size());
+}
+
+double rssi_db(const CMat& csi) {
+  const double p = mean_power(csi);
+  return 10.0 * std::log10(std::max(p, 1e-30));
+}
+
+double add_noise(CMat& csi, double snr_db, std::mt19937_64& rng) {
+  const double signal_power = mean_power(csi);
+  const double noise_power = signal_power / std::pow(10.0, snr_db / 10.0);
+  // Circularly symmetric: variance split evenly between re and im.
+  const double sigma_component = std::sqrt(noise_power / 2.0);
+  std::normal_distribution<double> n(0.0, sigma_component);
+  for (index_t j = 0; j < csi.cols(); ++j) {
+    for (index_t i = 0; i < csi.rows(); ++i) {
+      csi(i, j) += cxd{n(rng), n(rng)};
+    }
+  }
+  return std::sqrt(noise_power);
+}
+
+PacketBurst generate_burst(const std::vector<Path>& paths,
+                           const dsp::ArrayConfig& array_cfg,
+                           const BurstConfig& cfg, std::mt19937_64& rng) {
+  if (cfg.num_packets < 1) {
+    throw std::invalid_argument("generate_burst: need at least one packet");
+  }
+  if (cfg.max_detection_delay_s < 0.0) {
+    throw std::invalid_argument("generate_burst: negative detection delay bound");
+  }
+  std::uniform_real_distribution<double> delay(0.0, cfg.max_detection_delay_s);
+  std::normal_distribution<double> jitter(0.0, cfg.path_phase_jitter_rad);
+
+  // Polarization deviation: overall cos^2 power loss plus per-antenna
+  // manifold distortion, fixed for the burst (the client does not move).
+  std::vector<cxd> pol_gains;
+  double pol_scale = 1.0;
+  if (cfg.polarization_deviation_rad != 0.0) {
+    const double dev = std::abs(cfg.polarization_deviation_rad);
+    const double c = std::cos(dev);
+    pol_scale = std::max(c * c, 0.05);
+    const double distortion = std::sin(dev);
+    std::normal_distribution<double> amp(0.0, 0.4 * distortion);
+    std::normal_distribution<double> ph(0.0, 1.2 * distortion);
+    pol_gains.resize(static_cast<std::size_t>(array_cfg.num_antennas));
+    for (auto& g : pol_gains) {
+      g = std::polar(std::max(0.1, 1.0 + amp(rng)), ph(rng));
+    }
+  }
+
+  PacketBurst out;
+  out.csi.reserve(static_cast<std::size_t>(cfg.num_packets));
+  out.detection_delays.reserve(static_cast<std::size_t>(cfg.num_packets));
+  for (index_t p = 0; p < cfg.num_packets; ++p) {
+    CsiImpairments imp;
+    imp.detection_delay_s = cfg.max_detection_delay_s > 0.0 ? delay(rng) : 0.0;
+    imp.antenna_phase_offsets_rad = cfg.antenna_phase_offsets_rad;
+    imp.polarization_scale = cfg.polarization_scale * pol_scale;
+    imp.antenna_gains = pol_gains;
+    if (!cfg.antenna_gains.empty()) {
+      if (imp.antenna_gains.empty()) {
+        imp.antenna_gains = cfg.antenna_gains;
+      } else {
+        for (std::size_t a = 0; a < imp.antenna_gains.size(); ++a) {
+          imp.antenna_gains[a] *= cfg.antenna_gains[a];
+        }
+      }
+    }
+    std::vector<Path> jittered = paths;
+    if (cfg.path_phase_jitter_rad > 0.0) {
+      for (Path& path : jittered) {
+        path.gain *= std::polar(1.0, jitter(rng));
+      }
+    }
+    CMat c = synthesize_csi(jittered, array_cfg, imp);
+    // snr_db targets the unattenuated channel: polarization losses eat
+    // into the link budget instead of being silently compensated.
+    const double total_scale = cfg.polarization_scale * pol_scale;
+    const double effective_snr_db =
+        cfg.snr_db + 20.0 * std::log10(std::max(total_scale, 1e-6));
+    out.noise_sigma = add_noise(c, effective_snr_db, rng);
+    out.csi.push_back(std::move(c));
+    out.detection_delays.push_back(imp.detection_delay_s);
+  }
+  return out;
+}
+
+}  // namespace roarray::channel

@@ -1,0 +1,205 @@
+#include "core/roarray.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/sanitize.hpp"
+#include "dsp/steering.hpp"
+#include "music/model_order.hpp"
+#include "sparse/l1svd.hpp"
+#include "sparse/operator.hpp"
+
+namespace roarray::core {
+
+using linalg::cxd;
+using linalg::RMat;
+
+CVec stack_csi(const CMat& csi) {
+  const index_t m = csi.rows();
+  const index_t l = csi.cols();
+  CVec y(m * l);
+  for (index_t s = 0; s < l; ++s) {
+    for (index_t a = 0; a < m; ++a) y[s * m + a] = csi(a, s);
+  }
+  return y;
+}
+
+dsp::Spectrum2d coefficients_to_spectrum(const CVec& coeffs,
+                                         const dsp::Grid& aoa_grid,
+                                         const dsp::Grid& toa_grid) {
+  const index_t nth = aoa_grid.size();
+  const index_t ntau = toa_grid.size();
+  if (coeffs.size() != nth * ntau) {
+    throw std::invalid_argument("coefficients_to_spectrum: size mismatch");
+  }
+  dsp::Spectrum2d out;
+  out.aoa_grid = aoa_grid;
+  out.toa_grid = toa_grid;
+  out.values = RMat(nth, ntau);
+  for (index_t j = 0; j < ntau; ++j) {
+    for (index_t i = 0; i < nth; ++i) {
+      out.values(i, j) = std::abs(coeffs[j * nth + i]);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+dsp::Spectrum2d coefficients_to_spectrum(const CMat& coeffs,
+                                         const dsp::Grid& aoa_grid,
+                                         const dsp::Grid& toa_grid) {
+  const index_t nth = aoa_grid.size();
+  const index_t ntau = toa_grid.size();
+  if (coeffs.rows() != nth * ntau) {
+    throw std::invalid_argument("coefficients_to_spectrum: size mismatch");
+  }
+  dsp::Spectrum2d out;
+  out.aoa_grid = aoa_grid;
+  out.toa_grid = toa_grid;
+  out.values = RMat(nth, ntau);
+  for (index_t j = 0; j < ntau; ++j) {
+    for (index_t i = 0; i < nth; ++i) {
+      double row_sq = 0.0;
+      for (index_t k = 0; k < coeffs.cols(); ++k) {
+        row_sq += std::norm(coeffs(j * nth + i, k));
+      }
+      out.values(i, j) = std::sqrt(row_sq);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+namespace {
+
+/// Extracts paths from the spectrum and fills the result's path fields.
+void extract_paths(RoArrayResult& out, const RoArrayConfig& cfg) {
+  const auto peaks = out.spectrum.find_peaks(cfg.max_paths,
+                                             cfg.min_peak_rel_height,
+                                             /*min_sep_aoa=*/2,
+                                             /*min_sep_toa=*/1);
+  for (const dsp::Peak& p : peaks) {
+    PathEstimate e;
+    e.aoa_deg = p.aoa_deg;
+    e.toa_s = p.toa_s;
+    e.power = p.value;
+    out.paths.push_back(e);
+  }
+  std::sort(out.paths.begin(), out.paths.end(),
+            [](const PathEstimate& a, const PathEstimate& b) {
+              return a.toa_s < b.toa_s;
+            });
+  if (!out.paths.empty()) {
+    // Direct path = smallest ToA (paper Section III-B), restricted to
+    // peaks strong enough to be real paths rather than residual spikes.
+    double max_power = 0.0;
+    for (const PathEstimate& p : out.paths) max_power = std::max(max_power, p.power);
+    const double floor_power = cfg.min_direct_rel_power * max_power;
+    out.direct = out.paths.front();
+    for (const PathEstimate& p : out.paths) {
+      if (p.power >= floor_power) {
+        out.direct = p;
+        break;  // paths sorted by ToA: first strong one is the direct
+      }
+    }
+    out.valid = true;
+  }
+}
+
+}  // namespace
+
+RoArrayResult roarray_estimate(std::span<const CMat> packets,
+                               const RoArrayConfig& cfg,
+                               const dsp::ArrayConfig& array_cfg,
+                               const sparse::IterationCallback& callback) {
+  if (packets.empty()) throw std::invalid_argument("roarray_estimate: no packets");
+  array_cfg.validate();
+
+  const sparse::KroneckerOperator op(
+      dsp::steering_matrix_aoa(cfg.aoa_grid, array_cfg),
+      dsp::steering_matrix_toa(cfg.toa_grid, array_cfg));
+
+  // Gather (optionally sanitized) stacked measurements.
+  CMat snapshots(array_cfg.num_antennas * array_cfg.num_subcarriers,
+                 static_cast<index_t>(packets.size()));
+  for (std::size_t p = 0; p < packets.size(); ++p) {
+    CMat csi = packets[p];
+    if (csi.rows() != array_cfg.num_antennas ||
+        csi.cols() != array_cfg.num_subcarriers) {
+      throw std::invalid_argument("roarray_estimate: CSI shape mismatch");
+    }
+    if (cfg.sanitize) {
+      csi = dsp::sanitize_csi(csi, array_cfg, cfg.rebias_delay_s).csi;
+    }
+    snapshots.set_col(static_cast<index_t>(p), stack_csi(csi));
+  }
+
+  RoArrayResult out;
+  if (packets.size() == 1) {
+    const sparse::SolveResult sol =
+        sparse::solve_l1(op, snapshots.col_vec(0), cfg.solver, callback);
+    out.solver_iterations = sol.iterations;
+    out.solver_converged = sol.converged;
+    out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
+  } else {
+    // Multi-packet fusion: l1-SVD reduction, then one row-sparse solve.
+    sparse::SvdReduction red =
+        sparse::reduce_snapshots(snapshots, cfg.fusion_rank);
+    if (cfg.fusion_rank <= 0) {
+      // The simple threshold rule over-keeps noise directions at low
+      // SNR (smooth singular-value decay). Re-estimate the signal rank
+      // with MDL over the singular-value profile, capped at max_paths.
+      const index_t p = snapshots.cols();
+      const index_t r = red.singular_values.size();
+      linalg::RVec lam(r);  // ascending eigenvalues of (1/p) Y Y^H
+      for (index_t i = 0; i < r; ++i) {
+        const double s = red.singular_values[r - 1 - i];
+        lam[i] = s * s / static_cast<double>(p);
+      }
+      const index_t mdl = music::estimate_model_order(lam, p);
+      const index_t rank =
+          std::clamp<index_t>(mdl, 1, std::min(cfg.max_paths, red.reduced.cols()));
+      if (rank < red.reduced.cols()) {
+        CMat trimmed(red.reduced.rows(), rank);
+        for (index_t j = 0; j < rank; ++j) {
+          trimmed.set_col(j, red.reduced.col_vec(j));
+        }
+        red.reduced = std::move(trimmed);
+        red.rank_estimate = rank;
+      }
+    }
+    const sparse::GroupSolveResult sol =
+        sparse::solve_group_l1(op, red.reduced, cfg.solver);
+    out.solver_iterations = sol.iterations;
+    out.solver_converged = sol.converged;
+    out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
+  }
+  extract_paths(out, cfg);
+  return out;
+}
+
+dsp::Spectrum1d roarray_aoa_spectrum(const CMat& csi, const dsp::Grid& aoa_grid,
+                                     const dsp::ArrayConfig& array_cfg,
+                                     const sparse::SolveConfig& solver) {
+  if (csi.rows() != array_cfg.num_antennas) {
+    throw std::invalid_argument("roarray_aoa_spectrum: CSI rows != antennas");
+  }
+  const sparse::DenseOperator op(dsp::steering_matrix_aoa(aoa_grid, array_cfg));
+  // Every subcarrier is one spatial snapshot; the row-sparse solution's
+  // row norms are the AoA spectrum.
+  const sparse::GroupSolveResult sol = sparse::solve_group_l1(op, csi, solver);
+
+  dsp::Spectrum1d out;
+  out.grid = aoa_grid;
+  out.values = linalg::RVec(aoa_grid.size());
+  for (index_t i = 0; i < aoa_grid.size(); ++i) {
+    double row_sq = 0.0;
+    for (index_t k = 0; k < sol.x.cols(); ++k) row_sq += std::norm(sol.x(i, k));
+    out.values[i] = std::sqrt(row_sq);
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace roarray::core

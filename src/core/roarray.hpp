@@ -1,0 +1,100 @@
+// ROArray: robust joint AoA/ToA estimation by sparse recovery over a
+// (theta, tau) sampling grid — the paper's primary contribution
+// (Sections III-A, III-B, III-D).
+//
+// Pipeline per burst of CSI packets:
+//   1. (optional) sanitize each packet: remove the per-packet detection
+//      delay so packets are coherently fusable;
+//   2. stack each M x L CSI matrix into a 90-dim measurement (Eq. 15);
+//   3. multi-packet fusion: l1-SVD reduction of the snapshot matrix to
+//      its dominant subspace (Section III-D "Multi-Packet fusion");
+//   4. solve the l1 (single snapshot, Eq. 18) or l2,1 (fused) problem
+//      over the Kronecker-structured joint steering operator (Eq. 16);
+//   5. peaks of |a| reshaped over the grid are the paths; the smallest
+//      ToA peak is the direct path (Section III-B).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/constants.hpp"
+#include "dsp/grid.hpp"
+#include "dsp/spectrum.hpp"
+#include "linalg/matrix.hpp"
+#include "sparse/fista.hpp"
+
+namespace roarray::core {
+
+using linalg::CMat;
+using linalg::CVec;
+using linalg::index_t;
+
+/// One estimated propagation path.
+struct PathEstimate {
+  double aoa_deg = 0.0;
+  double toa_s = 0.0;
+  double power = 0.0;  ///< normalized spectrum power in (0, 1].
+};
+
+struct RoArrayConfig {
+  dsp::Grid aoa_grid = dsp::Grid(0.0, 180.0, 91);
+  dsp::Grid toa_grid = dsp::Grid(0.0, 784e-9, 50);
+  sparse::SolveConfig solver;  ///< FISTA by default; kappa auto.
+  /// Sanitize packets (detection-delay detrend) before fusing. Required
+  /// for coherent multi-packet fusion; optional for single packets.
+  bool sanitize = true;
+  double rebias_delay_s = 100e-9;
+  /// Dominant-subspace size for l1-SVD fusion; <= 0 = estimate from the
+  /// singular-value profile.
+  index_t fusion_rank = -1;
+  /// Peak extraction.
+  index_t max_paths = 6;
+  double min_peak_rel_height = 0.12;
+  /// The direct path is the smallest-ToA peak whose power is at least
+  /// this fraction of the strongest peak; weaker residual spikes are
+  /// listed in `paths` but never win the direct-path pick.
+  double min_direct_rel_power = 0.4;
+};
+
+/// Full estimation result.
+struct RoArrayResult {
+  std::vector<PathEstimate> paths;  ///< sorted by ascending ToA.
+  PathEstimate direct;              ///< smallest-ToA path.
+  bool valid = false;               ///< false if no path was found.
+  dsp::Spectrum2d spectrum;         ///< |a| over the (AoA, ToA) grid.
+  int solver_iterations = 0;
+  bool solver_converged = false;
+};
+
+/// Stacks an M x L CSI matrix into the measurement vector of Eq. 15
+/// (antenna-fastest ordering).
+[[nodiscard]] CVec stack_csi(const CMat& csi);
+
+/// Reshapes sparse coefficient magnitudes onto the (AoA, ToA) grid as a
+/// normalized 2-D spectrum (coefficient (i, j) at column j * Nth + i).
+[[nodiscard]] dsp::Spectrum2d coefficients_to_spectrum(const CVec& coeffs,
+                                                       const dsp::Grid& aoa_grid,
+                                                       const dsp::Grid& toa_grid);
+
+/// Same, from the row norms of a multi-snapshot coefficient matrix.
+[[nodiscard]] dsp::Spectrum2d coefficients_to_spectrum(const CMat& coeffs,
+                                                       const dsp::Grid& aoa_grid,
+                                                       const dsp::Grid& toa_grid);
+
+/// Runs the ROArray estimator on a burst of CSI packets (one or many).
+/// With an optional per-iteration callback receiving the current sparse
+/// iterate (single-packet path only), used to trace spectrum sharpening
+/// (paper Fig. 3).
+[[nodiscard]] RoArrayResult roarray_estimate(
+    std::span<const CMat> packets, const RoArrayConfig& cfg,
+    const dsp::ArrayConfig& array_cfg,
+    const sparse::IterationCallback& callback = nullptr);
+
+/// AoA-only sparse spectrum (paper Section III-A): solves the group
+/// problem over the spatial steering factor with every subcarrier as a
+/// snapshot. Cheaper than the joint solve; used by phase calibration.
+[[nodiscard]] dsp::Spectrum1d roarray_aoa_spectrum(
+    const CMat& csi, const dsp::Grid& aoa_grid,
+    const dsp::ArrayConfig& array_cfg, const sparse::SolveConfig& solver = {});
+
+}  // namespace roarray::core

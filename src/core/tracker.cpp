@@ -1,0 +1,41 @@
+#include "core/tracker.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace roarray::core {
+
+RoArrayTracker::RoArrayTracker(TrackerConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.array.validate();
+  if (cfg_.window_packets < 1) {
+    throw std::invalid_argument("RoArrayTracker: window_packets < 1");
+  }
+}
+
+void RoArrayTracker::push(const linalg::CMat& csi) {
+  if (csi.rows() != cfg_.array.num_antennas ||
+      csi.cols() != cfg_.array.num_subcarriers) {
+    throw std::invalid_argument("RoArrayTracker::push: CSI shape mismatch");
+  }
+  window_.push_back(csi);
+  while (static_cast<index_t>(window_.size()) > cfg_.window_packets) {
+    window_.pop_front();
+  }
+  cached_.reset();
+}
+
+void RoArrayTracker::reset() {
+  window_.clear();
+  cached_.reset();
+}
+
+std::optional<RoArrayResult> RoArrayTracker::estimate() {
+  if (window_.empty()) return std::nullopt;
+  if (!cached_) {
+    const std::vector<linalg::CMat> packets(window_.begin(), window_.end());
+    cached_ = roarray_estimate(packets, cfg_.estimator, cfg_.array);
+  }
+  return cached_;
+}
+
+}  // namespace roarray::core

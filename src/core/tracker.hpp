@@ -1,0 +1,49 @@
+// Streaming facade: accumulates CSI packets as they arrive (e.g. from a
+// live capture) in a sliding window and re-runs the fused ROArray
+// estimate on demand — the "works with one or a limited number of
+// packets" operating mode, packaged for online use.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/roarray.hpp"
+
+namespace roarray::core {
+
+struct TrackerConfig {
+  RoArrayConfig estimator;
+  dsp::ArrayConfig array;
+  /// Sliding-window capacity; older packets are evicted. Must be >= 1.
+  index_t window_packets = 15;
+};
+
+/// Accumulates packets and produces fused estimates over the current
+/// window. Estimates are cached until the window content changes.
+class RoArrayTracker {
+ public:
+  explicit RoArrayTracker(TrackerConfig cfg);
+
+  /// Adds one CSI packet (M x L); evicts the oldest beyond the window.
+  /// Throws std::invalid_argument on a shape mismatch.
+  void push(const linalg::CMat& csi);
+
+  /// Number of packets currently in the window.
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(window_.size());
+  }
+
+  /// Removes all buffered packets (and the cached estimate).
+  void reset();
+
+  /// Fused estimate over the current window; std::nullopt when empty.
+  /// Cached: repeated calls without new packets are free.
+  [[nodiscard]] std::optional<RoArrayResult> estimate();
+
+ private:
+  TrackerConfig cfg_;
+  std::deque<linalg::CMat> window_;
+  std::optional<RoArrayResult> cached_;
+};
+
+}  // namespace roarray::core

@@ -1,0 +1,38 @@
+// Angle utilities (degrees-first, matching the paper's conventions).
+#pragma once
+
+#include <cmath>
+
+#include "dsp/constants.hpp"
+
+namespace roarray::dsp {
+
+/// Wraps an angle to [0, 360) degrees.
+[[nodiscard]] inline double wrap_deg_360(double deg) noexcept {
+  double w = std::fmod(deg, 360.0);
+  if (w < 0.0) w += 360.0;
+  return w;
+}
+
+/// Wraps an angle to (-180, 180] degrees.
+[[nodiscard]] inline double wrap_deg_180(double deg) noexcept {
+  double w = wrap_deg_360(deg);
+  if (w > 180.0) w -= 360.0;
+  return w;
+}
+
+/// Absolute angular difference in degrees, in [0, 180].
+[[nodiscard]] inline double angle_diff_deg(double a, double b) noexcept {
+  return std::abs(wrap_deg_180(a - b));
+}
+
+/// Folds an arbitrary bearing into the ULA's unambiguous AoA range
+/// [0, 180]: a linear array cannot distinguish a source at +x from one
+/// mirrored across the array axis.
+[[nodiscard]] inline double fold_to_ula_range(double deg) noexcept {
+  double w = wrap_deg_360(deg);
+  if (w > 180.0) w = 360.0 - w;
+  return w;
+}
+
+}  // namespace roarray::dsp

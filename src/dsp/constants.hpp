@@ -1,0 +1,79 @@
+// Physical constants and the radio front-end description used throughout.
+#pragma once
+
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/types.hpp"
+
+namespace roarray::dsp {
+
+using linalg::index_t;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// Degrees -> radians.
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * kPi / 180.0;
+}
+
+/// Radians -> degrees.
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / kPi;
+}
+
+/// Description of a CSI-reporting WiFi front end attached to a uniform
+/// linear antenna array. Defaults model the Intel 5300 setup the paper
+/// uses: 3 antennas at half-wavelength spacing on the 5 GHz band
+/// (lambda = 5.2 cm, d = 2.6 cm), 30 reported subcarriers on a 40 MHz
+/// channel where the CSI tool reports every 4th subcarrier, giving an
+/// effective subcarrier spacing of 1.25 MHz and an unambiguous ToA range
+/// of 1/f_delta = 800 ns.
+struct ArrayConfig {
+  index_t num_antennas = 3;         ///< M.
+  index_t num_subcarriers = 30;     ///< L.
+  double wavelength_m = 0.052;      ///< lambda of the carrier.
+  double antenna_spacing_m = 0.026; ///< d, must be <= lambda/2 for no aliasing.
+  double subcarrier_spacing_hz = 1.25e6;  ///< f_delta between reported subcarriers.
+
+  /// d / lambda — the only array quantity the steering phase needs.
+  [[nodiscard]] double spacing_over_wavelength() const noexcept {
+    return antenna_spacing_m / wavelength_m;
+  }
+
+  /// Carrier frequency implied by the wavelength.
+  [[nodiscard]] double carrier_hz() const noexcept {
+    return kSpeedOfLight / wavelength_m;
+  }
+
+  /// Largest unambiguous ToA, 1 / f_delta.
+  [[nodiscard]] double max_unambiguous_toa_s() const noexcept {
+    return 1.0 / subcarrier_spacing_hz;
+  }
+
+  /// Validates physical sanity; throws std::invalid_argument on failure.
+  void validate() const {
+    if (num_antennas < 1) throw std::invalid_argument("ArrayConfig: num_antennas < 1");
+    if (num_subcarriers < 1) {
+      throw std::invalid_argument("ArrayConfig: num_subcarriers < 1");
+    }
+    if (wavelength_m <= 0.0 || antenna_spacing_m <= 0.0) {
+      throw std::invalid_argument("ArrayConfig: non-positive geometry");
+    }
+    if (antenna_spacing_m > wavelength_m / 2.0 + 1e-12) {
+      throw std::invalid_argument(
+          "ArrayConfig: antenna spacing > lambda/2 causes AoA ambiguity");
+    }
+    if (subcarrier_spacing_hz <= 0.0) {
+      throw std::invalid_argument("ArrayConfig: non-positive subcarrier spacing");
+    }
+  }
+};
+
+/// The Intel 5300 configuration used in the paper's experiments.
+[[nodiscard]] inline ArrayConfig intel5300_config() { return ArrayConfig{}; }
+
+}  // namespace roarray::dsp

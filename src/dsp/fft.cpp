@@ -1,0 +1,94 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roarray::dsp {
+
+using linalg::cxd;
+using linalg::index_t;
+
+namespace {
+
+bool is_pow2(index_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Core iterative Cooley-Tukey butterfly; sign = -1 forward, +1 inverse.
+void transform(CVec& x, double sign) {
+  const index_t n = x.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (index_t i = 1, j = 0; i < n; ++i) {
+    index_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (index_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * kPi / static_cast<double>(len);
+    const cxd wlen = std::polar(1.0, ang);
+    for (index_t i = 0; i < n; i += len) {
+      cxd w{1.0, 0.0};
+      for (index_t k = 0; k < len / 2; ++k) {
+        const cxd u = x[i + k];
+        const cxd v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(CVec& x) { transform(x, -1.0); }
+
+void ifft_inplace(CVec& x) {
+  transform(x, +1.0);
+  const cxd scale{1.0 / static_cast<double>(x.size()), 0.0};
+  for (index_t i = 0; i < x.size(); ++i) x[i] *= scale;
+}
+
+index_t next_pow2(index_t n) {
+  if (n < 1) throw std::invalid_argument("next_pow2: n must be >= 1");
+  index_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+PowerDelayProfile power_delay_profile(const CMat& csi, const ArrayConfig& cfg,
+                                      index_t nfft) {
+  cfg.validate();
+  const index_t l = csi.cols();
+  if (l < 1) throw std::invalid_argument("power_delay_profile: empty CSI");
+  if (nfft <= 0) nfft = next_pow2(4 * l);
+  if (!is_pow2(nfft) || nfft < l) {
+    throw std::invalid_argument(
+        "power_delay_profile: nfft must be a power of two >= L");
+  }
+
+  PowerDelayProfile out;
+  out.delays_s = RVec(nfft);
+  out.power = RVec(nfft);
+  const double bin = 1.0 / (static_cast<double>(nfft) * cfg.subcarrier_spacing_hz);
+  for (index_t k = 0; k < nfft; ++k) out.delays_s[k] = static_cast<double>(k) * bin;
+
+  for (index_t a = 0; a < csi.rows(); ++a) {
+    CVec f(nfft);
+    for (index_t s = 0; s < l; ++s) f[s] = csi(a, s);
+    // Gamma(tau) = e^{-j 2 pi f_delta tau s}: the *inverse* transform
+    // maps the subcarrier ramp to a spike at bin tau / bin_width.
+    ifft_inplace(f);
+    for (index_t k = 0; k < nfft; ++k) out.power[k] += std::norm(f[k]);
+  }
+  double mx = 0.0;
+  for (index_t k = 0; k < nfft; ++k) mx = std::max(mx, out.power[k]);
+  if (mx > 0.0) {
+    for (index_t k = 0; k < nfft; ++k) out.power[k] /= mx;
+  }
+  return out;
+}
+
+}  // namespace roarray::dsp

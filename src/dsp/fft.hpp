@@ -1,0 +1,40 @@
+// Radix-2 FFT and the channel power-delay profile — the time-domain
+// view of CSI that complements the model-based ToA estimates.
+#pragma once
+
+#include "dsp/constants.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::dsp {
+
+using linalg::CMat;
+using linalg::CVec;
+using linalg::RVec;
+
+/// In-place iterative radix-2 FFT. x.size() must be a power of two
+/// (throws std::invalid_argument otherwise). Forward transform uses the
+/// e^{-j 2 pi k n / N} kernel; no normalization.
+void fft_inplace(CVec& x);
+
+/// Inverse FFT with 1/N normalization (ifft(fft(x)) == x).
+void ifft_inplace(CVec& x);
+
+/// Next power of two >= n (n >= 1).
+[[nodiscard]] linalg::index_t next_pow2(linalg::index_t n);
+
+/// The power-delay profile of a CSI measurement: per-antenna IFFT of the
+/// subcarrier response (zero-padded to nfft, averaged over antennas),
+/// giving |h(tau)|^2 sampled at delays k / (nfft * f_delta).
+struct PowerDelayProfile {
+  RVec delays_s;  ///< nfft delay bins.
+  RVec power;     ///< average |h|^2 per bin, normalized to peak 1.
+};
+
+/// Computes the PDP from an M x L CSI matrix. nfft <= 0 selects the
+/// next power of two >= 4 L (4x zero-pad interpolation).
+[[nodiscard]] PowerDelayProfile power_delay_profile(const CMat& csi,
+                                                    const ArrayConfig& cfg,
+                                                    linalg::index_t nfft = -1);
+
+}  // namespace roarray::dsp

@@ -1,0 +1,84 @@
+// Uniform sampling grids used to parameterize AoA / ToA search spaces.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/types.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::dsp {
+
+using linalg::index_t;
+using linalg::RVec;
+
+/// An equally spaced sampling grid over [lo, hi] with n points
+/// (inclusive of both endpoints when n >= 2).
+///
+/// This is the "sparse grid" the paper parameterizes steering vectors
+/// over: e.g. Grid(0, 180, 181) is the 1-degree AoA grid.
+class Grid {
+ public:
+  Grid() = default;
+
+  Grid(double lo, double hi, index_t n) : lo_(lo), hi_(hi), n_(n) {
+    if (n < 1) throw std::invalid_argument("Grid: need at least one point");
+    if (hi < lo) throw std::invalid_argument("Grid: hi < lo");
+    step_ = (n > 1) ? (hi - lo) / static_cast<double>(n - 1) : 0.0;
+  }
+
+  /// Convenience: grid from lo to hi with the given step (hi included if
+  /// it lands on the grid; otherwise the last point is the largest grid
+  /// point <= hi).
+  [[nodiscard]] static Grid with_step(double lo, double hi, double step) {
+    if (step <= 0.0) throw std::invalid_argument("Grid: step must be positive");
+    const auto n = static_cast<index_t>(std::floor((hi - lo) / step + 1e-9)) + 1;
+    return Grid(lo, lo + static_cast<double>(n - 1) * step, n);
+  }
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double step() const noexcept { return step_; }
+
+  /// Value of the i-th grid point.
+  [[nodiscard]] double operator[](index_t i) const noexcept {
+    return lo_ + static_cast<double>(i) * step_;
+  }
+
+  /// Bounds-checked grid point.
+  [[nodiscard]] double at(index_t i) const {
+    if (i < 0 || i >= n_) throw std::out_of_range("Grid::at");
+    return (*this)[i];
+  }
+
+  /// Index of the grid point nearest to value (clamped to the range).
+  [[nodiscard]] index_t nearest_index(double value) const {
+    if (n_ == 1 || step_ == 0.0) return 0;
+    const double raw = (value - lo_) / step_;
+    const auto idx = static_cast<index_t>(std::lround(raw));
+    return std::max<index_t>(0, std::min<index_t>(n_ - 1, idx));
+  }
+
+  /// All grid values as a vector.
+  [[nodiscard]] RVec values() const {
+    RVec v(n_);
+    for (index_t i = 0; i < n_; ++i) v[i] = (*this)[i];
+    return v;
+  }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  index_t n_ = 1;
+  double step_ = 0.0;
+};
+
+/// The paper's default AoA grid: [0, 180] degrees, 2-degree spacing.
+[[nodiscard]] inline Grid default_aoa_grid() { return Grid(0.0, 180.0, 91); }
+
+/// The paper's default ToA grid: [0, 800] ns (Nt = 50 points), matching
+/// tau_max = 1/f_delta for the Intel 5300 40 MHz configuration.
+[[nodiscard]] inline Grid default_toa_grid() { return Grid(0.0, 784e-9, 50); }
+
+}  // namespace roarray::dsp

@@ -1,0 +1,72 @@
+#include "dsp/sanitize.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "dsp/steering.hpp"
+
+namespace roarray::dsp {
+
+using linalg::cxd;
+using linalg::index_t;
+
+SanitizeResult sanitize_csi(const CMat& csi, const ArrayConfig& cfg,
+                            double rebias_delay_s) {
+  cfg.validate();
+  const index_t m = csi.rows();
+  const index_t l = csi.cols();
+
+  // Unwrap phase along subcarriers independently per antenna.
+  std::vector<std::vector<double>> phase(static_cast<std::size_t>(m));
+  for (index_t a = 0; a < m; ++a) {
+    auto& row = phase[static_cast<std::size_t>(a)];
+    row.resize(static_cast<std::size_t>(l));
+    double prev = std::arg(csi(a, 0));
+    row[0] = prev;
+    for (index_t s = 1; s < l; ++s) {
+      double p = std::arg(csi(a, s));
+      // Unwrap: keep successive differences within (-pi, pi].
+      while (p - prev > kPi) p -= 2.0 * kPi;
+      while (p - prev < -kPi) p += 2.0 * kPi;
+      row[static_cast<std::size_t>(s)] = p;
+      prev = p;
+    }
+  }
+
+  // Common least-squares slope across subcarriers (per-antenna intercepts
+  // are free, so only deviations from each antenna's mean matter).
+  const double l_mean = static_cast<double>(l - 1) / 2.0;
+  double num = 0.0;
+  double den = 0.0;
+  for (index_t a = 0; a < m; ++a) {
+    double p_mean = 0.0;
+    const auto& row = phase[static_cast<std::size_t>(a)];
+    for (index_t s = 0; s < l; ++s) p_mean += row[static_cast<std::size_t>(s)];
+    p_mean /= static_cast<double>(l);
+    for (index_t s = 0; s < l; ++s) {
+      const double dl = static_cast<double>(s) - l_mean;
+      num += dl * (row[static_cast<std::size_t>(s)] - p_mean);
+      den += dl * dl;
+    }
+  }
+  const double slope = den > 0.0 ? num / den : 0.0;  // radians per subcarrier
+
+  // slope = -2 pi f_delta * delay  =>  delay implied by the fit:
+  const double fitted_delay = -slope / (2.0 * kPi * cfg.subcarrier_spacing_hz);
+
+  SanitizeResult out;
+  out.removed_delay_s = fitted_delay - rebias_delay_s;
+
+  // Multiply subcarrier s by exp(+j 2 pi f_delta s * removed_delay).
+  const cxd step = std::polar(
+      1.0, 2.0 * kPi * cfg.subcarrier_spacing_hz * out.removed_delay_s);
+  out.csi = csi;
+  cxd rot{1.0, 0.0};
+  for (index_t s = 0; s < l; ++s) {
+    for (index_t a = 0; a < m; ++a) out.csi(a, s) *= rot;
+    rot *= step;
+  }
+  return out;
+}
+
+}  // namespace roarray::dsp

@@ -1,0 +1,35 @@
+// CSI sanitization: removes the per-packet linear phase slope across
+// subcarriers introduced by the packet detection delay (and symbol
+// timing offset), so that packets become coherently fusable.
+#pragma once
+
+#include "dsp/constants.hpp"
+#include "linalg/matrix.hpp"
+
+namespace roarray::dsp {
+
+using linalg::CMat;
+
+/// Result of sanitizing one CSI matrix.
+struct SanitizeResult {
+  CMat csi;                 ///< detrended (and re-biased) CSI.
+  double removed_delay_s = 0.0;  ///< the common delay that was removed.
+};
+
+/// Estimates the common linear phase slope across subcarriers (shared by
+/// all antennas, intercept free per antenna so AoA phases are preserved)
+/// and removes it. Because the slope estimate absorbs the *mean* ToA as
+/// well as the detection delay, `rebias_delay_s` is added back so that
+/// all paths keep positive, unwrapped ToAs with the direct path near the
+/// bias value (default 100 ns). After sanitization every packet of a
+/// burst shares the same effective delay, enabling coherent fusion.
+///
+/// Aliasing limit: the per-subcarrier phase step is only unambiguous for
+/// mean delays below 1 / (2 f_delta) (400 ns for the Intel 5300 setup);
+/// larger delays fold onto the wrong branch. Real detection delays are
+/// tens of nanoseconds, well inside the limit.
+[[nodiscard]] SanitizeResult sanitize_csi(const CMat& csi,
+                                          const ArrayConfig& cfg,
+                                          double rebias_delay_s = 100e-9);
+
+}  // namespace roarray::dsp

@@ -1,0 +1,127 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace roarray::dsp {
+
+void Spectrum1d::normalize() {
+  double mx = 0.0;
+  for (index_t i = 0; i < values.size(); ++i) mx = std::max(mx, values[i]);
+  if (mx <= 0.0) return;
+  for (index_t i = 0; i < values.size(); ++i) values[i] /= mx;
+}
+
+std::vector<Peak> Spectrum1d::find_peaks(index_t max_peaks,
+                                         double min_rel_height,
+                                         index_t min_separation) const {
+  std::vector<Peak> candidates;
+  const index_t n = values.size();
+  double mx = 0.0;
+  for (index_t i = 0; i < n; ++i) mx = std::max(mx, values[i]);
+  if (mx <= 0.0) return candidates;
+  const double floor_v = min_rel_height * mx;
+
+  for (index_t i = 0; i < n; ++i) {
+    const double v = values[i];
+    if (v < floor_v) continue;
+    const bool left_ok = (i == 0) || values[i - 1] <= v;
+    const bool right_ok = (i == n - 1) || values[i + 1] < v;
+    if (!(left_ok && right_ok)) continue;
+    Peak p;
+    p.value = v;
+    p.aoa_index = i;
+    p.aoa_deg = grid[i];
+    candidates.push_back(p);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+
+  std::vector<Peak> out;
+  for (const Peak& c : candidates) {
+    if (static_cast<index_t>(out.size()) >= max_peaks) break;
+    const bool too_close = std::any_of(out.begin(), out.end(), [&](const Peak& o) {
+      return std::abs(o.aoa_index - c.aoa_index) < min_separation;
+    });
+    if (!too_close) out.push_back(c);
+  }
+  return out;
+}
+
+void Spectrum2d::normalize() {
+  const double mx = norm_max(values);
+  if (mx <= 0.0) return;
+  for (index_t j = 0; j < values.cols(); ++j)
+    for (index_t i = 0; i < values.rows(); ++i) values(i, j) /= mx;
+}
+
+std::vector<Peak> Spectrum2d::find_peaks(index_t max_peaks,
+                                         double min_rel_height,
+                                         index_t min_sep_aoa,
+                                         index_t min_sep_toa) const {
+  std::vector<Peak> candidates;
+  const index_t ni = values.rows();
+  const index_t nj = values.cols();
+  const double mx = norm_max(values);
+  if (mx <= 0.0) return candidates;
+  const double floor_v = min_rel_height * mx;
+
+  for (index_t j = 0; j < nj; ++j) {
+    for (index_t i = 0; i < ni; ++i) {
+      const double v = values(i, j);
+      if (v < floor_v) continue;
+      bool is_max = true;
+      for (index_t dj = -1; dj <= 1 && is_max; ++dj) {
+        for (index_t di = -1; di <= 1; ++di) {
+          if (di == 0 && dj == 0) continue;
+          const index_t ii = i + di;
+          const index_t jj = j + dj;
+          if (ii < 0 || ii >= ni || jj < 0 || jj >= nj) continue;
+          // Strictly-greater on the "later" side breaks plateau ties.
+          const double w = values(ii, jj);
+          const bool later = (dj > 0) || (dj == 0 && di > 0);
+          if (later ? (w >= v) : (w > v)) {
+            is_max = false;
+            break;
+          }
+        }
+      }
+      if (!is_max) continue;
+      Peak p;
+      p.value = v;
+      p.aoa_index = i;
+      p.toa_index = j;
+      p.aoa_deg = aoa_grid[i];
+      p.toa_s = toa_grid[j];
+      candidates.push_back(p);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+
+  std::vector<Peak> out;
+  for (const Peak& c : candidates) {
+    if (static_cast<index_t>(out.size()) >= max_peaks) break;
+    const bool too_close = std::any_of(out.begin(), out.end(), [&](const Peak& o) {
+      return std::abs(o.aoa_index - c.aoa_index) < min_sep_aoa &&
+             std::abs(o.toa_index - c.toa_index) < min_sep_toa;
+    });
+    if (!too_close) out.push_back(c);
+  }
+  return out;
+}
+
+Spectrum1d Spectrum2d::aoa_marginal() const {
+  Spectrum1d s;
+  s.grid = aoa_grid;
+  s.values = RVec(values.rows());
+  for (index_t i = 0; i < values.rows(); ++i) {
+    double mx = 0.0;
+    for (index_t j = 0; j < values.cols(); ++j) mx = std::max(mx, values(i, j));
+    s.values[i] = mx;
+  }
+  return s;
+}
+
+}  // namespace roarray::dsp

@@ -1,0 +1,62 @@
+// Spectra (1-D AoA, 2-D AoA/ToA) and peak extraction.
+#pragma once
+
+#include <vector>
+
+#include "dsp/grid.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::dsp {
+
+using linalg::index_t;
+using linalg::RMat;
+using linalg::RVec;
+
+/// One detected spectrum peak.
+struct Peak {
+  double value = 0.0;     ///< spectrum power at the peak (post-normalization).
+  double aoa_deg = 0.0;   ///< AoA grid coordinate of the peak.
+  double toa_s = 0.0;     ///< ToA grid coordinate (0 for 1-D spectra).
+  index_t aoa_index = 0;
+  index_t toa_index = 0;
+};
+
+/// A 1-D power spectrum sampled on a grid (typically AoA in degrees).
+struct Spectrum1d {
+  Grid grid;    ///< sample coordinates.
+  RVec values;  ///< non-negative powers, same length as grid.
+
+  /// Scales so the maximum equals 1 (no-op on an all-zero spectrum).
+  void normalize();
+
+  /// Local maxima above `min_rel_height` * max, separated by at least
+  /// `min_separation` samples, sorted by descending power, at most
+  /// `max_peaks` of them.
+  [[nodiscard]] std::vector<Peak> find_peaks(index_t max_peaks,
+                                             double min_rel_height = 0.05,
+                                             index_t min_separation = 1) const;
+};
+
+/// A 2-D power spectrum over (AoA, ToA), values(i, j) at
+/// (aoa_grid[i], toa_grid[j]).
+struct Spectrum2d {
+  Grid aoa_grid;  ///< degrees.
+  Grid toa_grid;  ///< seconds.
+  RMat values;    ///< aoa_grid.size() x toa_grid.size().
+
+  void normalize();
+
+  /// 8-neighborhood local maxima above `min_rel_height` * max, sorted by
+  /// descending power, greedily suppressing peaks within
+  /// `min_sep_aoa`/`min_sep_toa` samples of an already accepted one.
+  [[nodiscard]] std::vector<Peak> find_peaks(index_t max_peaks,
+                                             double min_rel_height = 0.05,
+                                             index_t min_sep_aoa = 1,
+                                             index_t min_sep_toa = 1) const;
+
+  /// Marginalizes over ToA (max over tau) to obtain an AoA spectrum.
+  [[nodiscard]] Spectrum1d aoa_marginal() const;
+};
+
+}  // namespace roarray::dsp

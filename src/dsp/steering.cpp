@@ -1,0 +1,94 @@
+#include "dsp/steering.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roarray::dsp {
+
+using linalg::index_t;
+
+cxd lambda_aoa(double theta_deg, double spacing_over_wavelength) {
+  const double phase = -2.0 * kPi * spacing_over_wavelength *
+                       std::cos(deg_to_rad(theta_deg));
+  return std::polar(1.0, phase);
+}
+
+cxd gamma_toa(double tau_s, double subcarrier_spacing_hz) {
+  const double phase = -2.0 * kPi * subcarrier_spacing_hz * tau_s;
+  return std::polar(1.0, phase);
+}
+
+CVec steering_aoa(double theta_deg, const ArrayConfig& cfg) {
+  const index_t m = cfg.num_antennas;
+  const cxd lam = lambda_aoa(theta_deg, cfg.spacing_over_wavelength());
+  CVec s(m);
+  cxd acc{1.0, 0.0};
+  for (index_t i = 0; i < m; ++i) {
+    s[i] = acc;
+    acc *= lam;
+  }
+  return s;
+}
+
+CVec steering_joint(double theta_deg, double tau_s, const ArrayConfig& cfg) {
+  return steering_joint_sub(theta_deg, tau_s, cfg, cfg.num_antennas,
+                            cfg.num_subcarriers);
+}
+
+CVec steering_joint_sub(double theta_deg, double tau_s, const ArrayConfig& cfg,
+                        index_t ms, index_t ls) {
+  if (ms < 1 || ms > cfg.num_antennas || ls < 1 || ls > cfg.num_subcarriers) {
+    throw std::invalid_argument("steering_joint_sub: sub-array out of range");
+  }
+  const cxd lam = lambda_aoa(theta_deg, cfg.spacing_over_wavelength());
+  const cxd gam = gamma_toa(tau_s, cfg.subcarrier_spacing_hz);
+  CVec s(ms * ls);
+  cxd gl{1.0, 0.0};
+  for (index_t l = 0; l < ls; ++l) {
+    cxd lm{1.0, 0.0};
+    for (index_t m = 0; m < ms; ++m) {
+      s[l * ms + m] = gl * lm;
+      lm *= lam;
+    }
+    gl *= gam;
+  }
+  return s;
+}
+
+CMat steering_matrix_aoa(const Grid& aoa_grid_deg, const ArrayConfig& cfg) {
+  CMat a(cfg.num_antennas, aoa_grid_deg.size());
+  for (index_t i = 0; i < aoa_grid_deg.size(); ++i) {
+    a.set_col(i, steering_aoa(aoa_grid_deg[i], cfg));
+  }
+  return a;
+}
+
+CMat steering_matrix_toa(const Grid& toa_grid_s, const ArrayConfig& cfg) {
+  const index_t l = cfg.num_subcarriers;
+  CMat a(l, toa_grid_s.size());
+  for (index_t j = 0; j < toa_grid_s.size(); ++j) {
+    const cxd gam = gamma_toa(toa_grid_s[j], cfg.subcarrier_spacing_hz);
+    cxd acc{1.0, 0.0};
+    for (index_t i = 0; i < l; ++i) {
+      a(i, j) = acc;
+      acc *= gam;
+    }
+  }
+  return a;
+}
+
+CMat steering_matrix_joint(const Grid& aoa_grid_deg, const Grid& toa_grid_s,
+                           const ArrayConfig& cfg) {
+  const index_t nth = aoa_grid_deg.size();
+  const index_t ntau = toa_grid_s.size();
+  CMat s(cfg.num_antennas * cfg.num_subcarriers, nth * ntau);
+  for (index_t j = 0; j < ntau; ++j) {
+    for (index_t i = 0; i < nth; ++i) {
+      s.set_col(j * nth + i,
+                steering_joint(aoa_grid_deg[i], toa_grid_s[j], cfg));
+    }
+  }
+  return s;
+}
+
+}  // namespace roarray::dsp

@@ -1,0 +1,45 @@
+#include "eval/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roarray::eval {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  for (double s : sorted_) {
+    if (!std::isfinite(s)) {
+      throw std::invalid_argument("Cdf: non-finite sample");
+    }
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::percentile(double fraction) const {
+  if (sorted_.empty()) throw std::domain_error("Cdf::percentile: empty");
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("Cdf::percentile: fraction outside [0, 1]");
+  }
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = fraction * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Cdf::mean() const {
+  if (sorted_.empty()) throw std::domain_error("Cdf::mean: empty");
+  double acc = 0.0;
+  for (double s : sorted_) acc += s;
+  return acc / static_cast<double>(sorted_.size());
+}
+
+double Cdf::fraction_below(double x) const {
+  if (sorted_.empty()) throw std::domain_error("Cdf::fraction_below: empty");
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+}  // namespace roarray::eval

@@ -1,0 +1,48 @@
+// Empirical CDFs and summary statistics for the evaluation harness.
+#pragma once
+
+#include <vector>
+
+#include "linalg/types.hpp"
+
+namespace roarray::eval {
+
+using linalg::index_t;
+
+/// An empirical cumulative distribution built from error samples.
+class Cdf {
+ public:
+  Cdf() = default;
+
+  /// Builds from samples (copied, then sorted ascending). Non-finite
+  /// samples are rejected with std::invalid_argument.
+  explicit Cdf(std::vector<double> samples);
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(sorted_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// Value below which `fraction` (in [0, 1]) of the samples fall
+  /// (linear interpolation between order statistics). Throws
+  /// std::domain_error on an empty CDF, std::invalid_argument on a
+  /// fraction outside [0, 1].
+  [[nodiscard]] double percentile(double fraction) const;
+
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] double min() const { return percentile(0.0); }
+  [[nodiscard]] double max() const { return percentile(1.0); }
+  [[nodiscard]] double mean() const;
+
+  /// Empirical CDF value at x: fraction of samples <= x.
+  [[nodiscard]] double fraction_below(double x) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace roarray::eval

@@ -1,0 +1,95 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace roarray::eval {
+
+void print_cdf_table(std::ostream& os, const std::string& title,
+                     const std::vector<NamedCdf>& curves,
+                     const std::vector<double>& fractions,
+                     const std::string& unit) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(12) << "percentile";
+  for (const NamedCdf& c : curves) os << std::setw(16) << (c.name + " (" + unit + ")");
+  os << "\n";
+  for (double f : fractions) {
+    os << std::left << std::setw(12) << (std::to_string(static_cast<int>(f * 100)) + "%");
+    for (const NamedCdf& c : curves) {
+      if (c.cdf.empty()) {
+        os << std::setw(16) << "n/a";
+      } else {
+        os << std::setw(16) << std::fixed << std::setprecision(3)
+           << c.cdf.percentile(f);
+      }
+    }
+    os << "\n";
+  }
+}
+
+void print_cdf_summary(std::ostream& os, const std::vector<NamedCdf>& curves,
+                       const std::string& unit) {
+  for (const NamedCdf& c : curves) {
+    os << "  " << std::left << std::setw(14) << c.name;
+    if (c.cdf.empty()) {
+      os << "no samples\n";
+      continue;
+    }
+    os << "median " << std::fixed << std::setprecision(3) << c.cdf.median()
+       << " " << unit << ", mean " << c.cdf.mean() << " " << unit
+       << ", p90 " << c.cdf.percentile(0.9) << " " << unit << " (n="
+       << c.cdf.size() << ")\n";
+  }
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& x_name, const std::vector<double>& x,
+                  const std::vector<std::pair<std::string, std::vector<double>>>&
+                      series) {
+  for (const auto& [name, y] : series) {
+    if (y.size() != x.size()) {
+      throw std::invalid_argument("print_series: length mismatch for " + name);
+    }
+  }
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(14) << x_name;
+  for (const auto& [name, y] : series) os << std::setw(14) << name;
+  os << "\n";
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    os << std::left << std::setw(14) << std::fixed << std::setprecision(4) << x[i];
+    for (const auto& [name, y] : series) os << std::setw(14) << y[i];
+    os << "\n";
+  }
+}
+
+void print_spectrum_sketch(std::ostream& os, const std::vector<double>& x,
+                           const std::vector<double>& values, int height) {
+  if (x.size() != values.size() || x.empty() || height < 1) return;
+  double mx = 0.0;
+  for (double v : values) mx = std::max(mx, v);
+  if (mx <= 0.0) mx = 1.0;
+  // Downsample to at most 72 columns.
+  const std::size_t cols = std::min<std::size_t>(72, values.size());
+  std::vector<double> col_val(cols, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t c = i * cols / values.size();
+    col_val[c] = std::max(col_val[c], values[i]);
+  }
+  for (int row = height; row >= 1; --row) {
+    const double level = mx * static_cast<double>(row) / height;
+    os << "  |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << (col_val[c] >= level ? '#' : ' ');
+    }
+    os << "\n";
+  }
+  os << "  +";
+  for (std::size_t c = 0; c < cols; ++c) os << '-';
+  os << "\n   " << std::fixed << std::setprecision(1) << x.front()
+     << std::string(cols > 12 ? cols - 12 : 1, ' ') << x.back() << "\n";
+}
+
+}  // namespace roarray::eval

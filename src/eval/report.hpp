@@ -1,0 +1,42 @@
+// Plain-text reporting helpers shared by the figure benches: each bench
+// prints the same rows/series the paper's figure plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/cdf.hpp"
+
+namespace roarray::eval {
+
+/// A named CDF (one curve of a paper figure).
+struct NamedCdf {
+  std::string name;
+  Cdf cdf;
+};
+
+/// Prints a figure-style CDF table: one row per percentile in
+/// `fractions`, one column per curve. Values formatted with `unit`.
+void print_cdf_table(std::ostream& os, const std::string& title,
+                     const std::vector<NamedCdf>& curves,
+                     const std::vector<double>& fractions,
+                     const std::string& unit);
+
+/// Prints a summary line per curve: median / mean / 90th percentile.
+void print_cdf_summary(std::ostream& os, const std::vector<NamedCdf>& curves,
+                       const std::string& unit);
+
+/// Prints an (x, y...) series table, e.g. a spectrum: column headers then
+/// one row per x with the matching y from every series.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& x_name, const std::vector<double>& x,
+                  const std::vector<std::pair<std::string, std::vector<double>>>&
+                      series);
+
+/// Renders a 1-D spectrum as a rough ASCII sketch (for eyeballing the
+/// sharpness that the paper's polar plots show).
+void print_spectrum_sketch(std::ostream& os, const std::vector<double>& x,
+                           const std::vector<double>& values, int height = 8);
+
+}  // namespace roarray::eval

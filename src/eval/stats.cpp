@@ -1,0 +1,57 @@
+#include "eval/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roarray::eval {
+
+ConfidenceInterval bootstrap_median_ci(const std::vector<double>& samples,
+                                       std::mt19937_64& rng, double confidence,
+                                       int resamples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("bootstrap_median_ci: no samples");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_median_ci: confidence in (0,1)");
+  }
+  if (resamples < 10) {
+    throw std::invalid_argument("bootstrap_median_ci: need >= 10 resamples");
+  }
+
+  const Cdf base(samples);
+  std::uniform_int_distribution<std::size_t> pick(0, samples.size() - 1);
+  std::vector<double> medians;
+  medians.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> draw(samples.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (double& d : draw) d = samples[pick(rng)];
+    medians.push_back(Cdf(draw).median());
+  }
+  std::sort(medians.begin(), medians.end());
+  const double alpha = 1.0 - confidence;
+  const auto idx = [&](double f) {
+    const auto i = static_cast<std::size_t>(f * (medians.size() - 1));
+    return medians[std::min(i, medians.size() - 1)];
+  };
+  ConfidenceInterval ci;
+  ci.lo = idx(alpha / 2.0);
+  ci.hi = idx(1.0 - alpha / 2.0);
+  ci.point = base.median();
+  return ci;
+}
+
+double ks_statistic(const Cdf& a, const Cdf& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_statistic: empty distribution");
+  }
+  double d = 0.0;
+  for (double x : a.sorted_samples()) {
+    d = std::max(d, std::abs(a.fraction_below(x) - b.fraction_below(x)));
+  }
+  for (double x : b.sorted_samples()) {
+    d = std::max(d, std::abs(a.fraction_below(x) - b.fraction_below(x)));
+  }
+  return d;
+}
+
+}  // namespace roarray::eval

@@ -1,0 +1,32 @@
+// Statistical utilities for comparing systems rigorously: bootstrap
+// confidence intervals for medians and the Kolmogorov-Smirnov distance
+// between error distributions.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "eval/cdf.hpp"
+
+namespace roarray::eval {
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  ///< the point estimate the interval brackets.
+};
+
+/// Percentile-bootstrap confidence interval for the median of `samples`
+/// at the given confidence level (e.g. 0.95). Deterministic given the
+/// rng. Throws std::invalid_argument on empty input, bad level, or a
+/// non-positive resample count.
+[[nodiscard]] ConfidenceInterval bootstrap_median_ci(
+    const std::vector<double>& samples, std::mt19937_64& rng,
+    double confidence = 0.95, int resamples = 1000);
+
+/// Kolmogorov-Smirnov statistic sup_x |F_a(x) - F_b(x)| between two
+/// empirical distributions. 0 = identical, 1 = disjoint supports.
+[[nodiscard]] double ks_statistic(const Cdf& a, const Cdf& b);
+
+}  // namespace roarray::eval

@@ -1,0 +1,130 @@
+#include "linalg/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace roarray::linalg {
+
+namespace {
+
+/// Sum of squared magnitudes of strictly-upper-triangular elements.
+double off_diagonal_sq(const CMat& a) {
+  double acc = 0.0;
+  for (index_t j = 1; j < a.cols(); ++j)
+    for (index_t i = 0; i < j; ++i) acc += std::norm(a(i, j));
+  return acc;
+}
+
+}  // namespace
+
+EigResult eig_hermitian(const CMat& input, double tol, double hermitian_tol) {
+  if (input.rows() != input.cols()) {
+    throw std::invalid_argument("eig_hermitian: matrix must be square");
+  }
+  const index_t n = input.rows();
+  const double scale = std::max(1.0, norm_max(input));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      if (std::abs(input(i, j) - std::conj(input(j, i))) > hermitian_tol * scale) {
+        throw std::invalid_argument("eig_hermitian: matrix is not Hermitian");
+      }
+    }
+  }
+
+  // Work on a symmetrized copy so the iteration sees an exactly
+  // Hermitian matrix regardless of rounding in the input.
+  CMat a(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    a(j, j) = cxd{input(j, j).real(), 0.0};
+    for (index_t i = 0; i < j; ++i) {
+      const cxd v = 0.5 * (input(i, j) + std::conj(input(j, i)));
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  CMat v = CMat::identity(n);
+
+  const double fro = norm_fro(a);
+  const double stop = std::max(tol * fro, 1e-300);
+  constexpr int kMaxSweeps = 64;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (std::sqrt(off_diagonal_sq(a)) <= stop) break;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const cxd apq = a(p, q);
+        const double r = std::abs(apq);
+        if (r <= stop / static_cast<double>(n)) continue;
+
+        // Phase factor turning the 2x2 block real-symmetric:
+        // with u = apq / |apq|, the transformed off-diagonal is |apq|.
+        const cxd u = apq / r;
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+
+        // Real Jacobi rotation annihilating the (p,q) entry of
+        // [[app, r], [r, aqq]] (Golub & Van Loan 8.4).
+        const double theta = (aqq - app) / (2.0 * r);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = c * t;
+
+        // Combined complex rotation G: G(p,p)=c, G(p,q)=s*u,
+        // G(q,p)=-s*conj(u), G(q,q)=c. Update A <- G^H A G, V <- V G.
+        const cxd gpq = s * u;         // G(p,q)
+        const cxd gqp = -s * std::conj(u);  // G(q,p)
+
+        // Columns: A <- A G touches columns p and q.
+        for (index_t i = 0; i < n; ++i) {
+          const cxd aip = a(i, p);
+          const cxd aiq = a(i, q);
+          a(i, p) = aip * c + aiq * gqp;
+          a(i, q) = aip * gpq + aiq * c;
+        }
+        // Rows: A <- G^H A touches rows p and q.
+        for (index_t j = 0; j < n; ++j) {
+          const cxd apj = a(p, j);
+          const cxd aqj = a(q, j);
+          a(p, j) = c * apj + std::conj(gqp) * aqj;
+          a(q, j) = std::conj(gpq) * apj + c * aqj;
+        }
+        // Clean up rounding on the annihilated pair and diagonal.
+        a(p, q) = cxd{};
+        a(q, p) = cxd{};
+        a(p, p) = cxd{a(p, p).real(), 0.0};
+        a(q, q) = cxd{a(q, q).real(), 0.0};
+
+        // Accumulate eigenvectors: V <- V G.
+        for (index_t i = 0; i < n; ++i) {
+          const cxd vip = v(i, p);
+          const cxd viq = v(i, q);
+          v(i, p) = vip * c + viq * gqp;
+          v(i, q) = vip * gpq + viq * c;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return a(x, x).real() < a(y, y).real();
+  });
+
+  EigResult out;
+  out.eigenvalues = RVec(n);
+  out.eigenvectors = CMat(n, n);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t src = order[static_cast<std::size_t>(k)];
+    out.eigenvalues[k] = a(src, src).real();
+    for (index_t i = 0; i < n; ++i) out.eigenvectors(i, k) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace roarray::linalg

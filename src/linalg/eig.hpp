@@ -1,0 +1,27 @@
+// Hermitian eigendecomposition via the cyclic complex Jacobi method.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::linalg {
+
+/// Eigendecomposition A = V diag(lambda) V^H of a Hermitian matrix.
+/// Eigenvalues are real and sorted ascending; eigenvector k is V.col(k).
+struct EigResult {
+  RVec eigenvalues;   ///< ascending, real (Hermitian input).
+  CMat eigenvectors;  ///< unitary; column k pairs with eigenvalues[k].
+};
+
+/// Computes all eigenvalues and eigenvectors of a Hermitian matrix with
+/// the cyclic complex Jacobi method. The input must be Hermitian to
+/// within hermitian_tol * ||A||_max (throws std::invalid_argument
+/// otherwise); the strictly-lower triangle is then ignored.
+///
+/// Robust and simple; O(n^3) per sweep with a handful of sweeps, which
+/// is ideal for the <=128-dimensional covariance matrices used by MUSIC.
+[[nodiscard]] EigResult eig_hermitian(const CMat& a,
+                                      double tol = kDefaultTol,
+                                      double hermitian_tol = 1e-8);
+
+}  // namespace roarray::linalg

@@ -1,0 +1,293 @@
+// Dense column-major matrix over double or complex<double>.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/types.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::linalg {
+
+/// A dense, heap-backed, column-major matrix.
+///
+/// Column-major storage keeps steering-matrix columns contiguous, which
+/// is the dominant access pattern in this library (per-column steering
+/// vectors, GEMV with column updates).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(index_t rows, index_t cols)
+      : rows_(require_dim(rows)), cols_(require_dim(cols)),
+        data_(static_cast<std::size_t>(rows_ * cols_)) {}
+
+  /// rows x cols matrix with every element equal to value.
+  Matrix(index_t rows, index_t cols, T value)
+      : rows_(require_dim(rows)), cols_(require_dim(cols)),
+        data_(static_cast<std::size_t>(rows_ * cols_), value) {}
+
+  /// Builds from a row-major nested initializer list (natural notation).
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = static_cast<index_t>(init.size());
+    cols_ = rows_ > 0 ? static_cast<index_t>(init.begin()->size()) : 0;
+    data_.resize(static_cast<std::size_t>(rows_ * cols_));
+    index_t i = 0;
+    for (const auto& row : init) {
+      if (static_cast<index_t>(row.size()) != cols_) {
+        throw std::invalid_argument("Matrix: ragged initializer list");
+      }
+      index_t j = 0;
+      for (const auto& v : row) (*this)(i, j++) = v;
+      ++i;
+    }
+  }
+
+  [[nodiscard]] static Matrix identity(index_t n) {
+    Matrix m(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t size() const noexcept { return rows_ * cols_; }
+
+  T& operator()(index_t i, index_t j) noexcept {
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+  const T& operator()(index_t i, index_t j) const noexcept {
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+
+  /// Bounds-checked element access.
+  T& at(index_t i, index_t j) {
+    check_index(i, j);
+    return (*this)(i, j);
+  }
+  const T& at(index_t i, index_t j) const {
+    check_index(i, j);
+    return (*this)(i, j);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// Contiguous view of column j.
+  [[nodiscard]] std::span<T> col(index_t j) {
+    check_col(j);
+    return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
+  }
+  [[nodiscard]] std::span<const T> col(index_t j) const {
+    check_col(j);
+    return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
+  }
+
+  /// Copies column j into a Vector.
+  [[nodiscard]] Vector<T> col_vec(index_t j) const {
+    return Vector<T>(col(j));
+  }
+
+  /// Copies row i into a Vector.
+  [[nodiscard]] Vector<T> row_vec(index_t i) const {
+    if (i < 0 || i >= rows_) throw std::out_of_range("Matrix::row_vec");
+    Vector<T> r(cols_);
+    for (index_t j = 0; j < cols_; ++j) r[j] = (*this)(i, j);
+    return r;
+  }
+
+  /// Overwrites column j with the contents of v.
+  void set_col(index_t j, const Vector<T>& v) {
+    if (v.size() != rows_) throw std::invalid_argument("set_col: size mismatch");
+    auto c = col(j);
+    std::copy(v.begin(), v.end(), c.begin());
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  Matrix& operator+=(const Matrix& rhs) {
+    check_same_shape(rhs);
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& rhs) {
+    check_same_shape(rhs);
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(T scalar) {
+    for (auto& v : data_) v *= scalar;
+    return *this;
+  }
+
+  [[nodiscard]] friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Matrix operator-(Matrix lhs, const Matrix& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Matrix operator*(Matrix lhs, T scalar) {
+    lhs *= scalar;
+    return lhs;
+  }
+  [[nodiscard]] friend Matrix operator*(T scalar, Matrix rhs) {
+    rhs *= scalar;
+    return rhs;
+  }
+
+ private:
+  static index_t require_dim(index_t n) {
+    if (n < 0) throw std::invalid_argument("Matrix: negative dimension");
+    return n;
+  }
+  void check_index(index_t i, index_t j) const {
+    if (i < 0 || i >= rows_ || j < 0 || j >= cols_) {
+      throw std::out_of_range("Matrix::at: index out of range");
+    }
+  }
+  void check_col(index_t j) const {
+    if (j < 0 || j >= cols_) throw std::out_of_range("Matrix::col");
+  }
+  void check_same_shape(const Matrix& rhs) const {
+    if (rhs.rows_ != rows_ || rhs.cols_ != cols_) {
+      throw std::invalid_argument("Matrix: shape mismatch");
+    }
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using CMat = Matrix<cxd>;
+using RMat = Matrix<double>;
+
+/// Transpose (no conjugation).
+template <typename T>
+[[nodiscard]] Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) t(j, i) = a(i, j);
+  return t;
+}
+
+/// Conjugate transpose (adjoint). For real matrices this equals transpose.
+template <typename T>
+[[nodiscard]] Matrix<T> adjoint(const Matrix<T>& a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) t(j, i) = detail::conj_scalar(a(i, j));
+  return t;
+}
+
+/// Element-wise conjugate.
+template <typename T>
+[[nodiscard]] Matrix<T> conjugate(const Matrix<T>& a) {
+  Matrix<T> c(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) c(i, j) = detail::conj_scalar(a(i, j));
+  return c;
+}
+
+/// Matrix-vector product y = A x.
+template <typename T>
+[[nodiscard]] Vector<T> matvec(const Matrix<T>& a, const Vector<T>& x) {
+  if (x.size() != a.cols()) throw std::invalid_argument("matvec: size mismatch");
+  Vector<T> y(a.rows());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const T xj = x[j];
+    auto cj = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) y[i] += cj[static_cast<std::size_t>(i)] * xj;
+  }
+  return y;
+}
+
+/// Adjoint matrix-vector product y = A^H x (without forming A^H).
+template <typename T>
+[[nodiscard]] Vector<T> matvec_adj(const Matrix<T>& a, const Vector<T>& x) {
+  if (x.size() != a.rows()) throw std::invalid_argument("matvec_adj: size mismatch");
+  Vector<T> y(a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    auto cj = a.col(j);
+    T acc{};
+    for (index_t i = 0; i < a.rows(); ++i) {
+      acc += detail::conj_scalar(cj[static_cast<std::size_t>(i)]) * x[i];
+    }
+    y[j] = acc;
+  }
+  return y;
+}
+
+/// Matrix product C = A B.
+template <typename T>
+[[nodiscard]] Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  for (index_t j = 0; j < b.cols(); ++j) {
+    for (index_t k = 0; k < a.cols(); ++k) {
+      const T bkj = b(k, j);
+      if (bkj == T{}) continue;
+      auto ak = a.col(k);
+      for (index_t i = 0; i < a.rows(); ++i) {
+        c(i, j) += ak[static_cast<std::size_t>(i)] * bkj;
+      }
+    }
+  }
+  return c;
+}
+
+/// C = A^H B computed without forming A^H.
+template <typename T>
+[[nodiscard]] Matrix<T> matmul_adj_left(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_adj_left: shape mismatch");
+  Matrix<T> c(a.cols(), b.cols());
+  for (index_t j = 0; j < b.cols(); ++j) {
+    auto bj = b.col(j);
+    for (index_t i = 0; i < a.cols(); ++i) {
+      auto ai = a.col(i);
+      T acc{};
+      for (index_t k = 0; k < a.rows(); ++k) {
+        acc += detail::conj_scalar(ai[static_cast<std::size_t>(k)]) *
+               bj[static_cast<std::size_t>(k)];
+      }
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+/// Frobenius norm.
+template <typename T>
+[[nodiscard]] double norm_fro(const Matrix<T>& a) {
+  double acc = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) acc += detail::abs_sq(a(i, j));
+  return std::sqrt(acc);
+}
+
+/// Maximum element magnitude.
+template <typename T>
+[[nodiscard]] double norm_max(const Matrix<T>& a) {
+  double acc = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) acc = std::max(acc, std::abs(a(i, j)));
+  return acc;
+}
+
+/// Converts a real matrix to a complex one (imaginary parts zero).
+[[nodiscard]] inline CMat to_complex(const RMat& a) {
+  CMat c(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) c(i, j) = cxd{a(i, j), 0.0};
+  return c;
+}
+
+}  // namespace roarray::linalg

@@ -1,0 +1,32 @@
+// Householder QR decomposition and QR-based linear solves (complex).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::linalg {
+
+/// Thin QR factorization A = Q R with Q (m x n, orthonormal columns)
+/// and R (n x n, upper triangular). Requires m >= n.
+struct QrResult {
+  CMat q;  ///< m x n with orthonormal columns (Q^H Q = I).
+  CMat r;  ///< n x n upper triangular.
+};
+
+/// Computes the thin Householder QR factorization of a (m >= n).
+/// Throws std::invalid_argument if m < n.
+[[nodiscard]] QrResult qr(const CMat& a);
+
+/// Solves the least-squares problem min_x ||A x - b||_2 for full-column-rank
+/// A (m >= n) via Householder QR. Throws std::invalid_argument on shape
+/// mismatch and std::domain_error if A is numerically rank deficient.
+[[nodiscard]] CVec lstsq(const CMat& a, const CVec& b);
+
+/// Solves the square system A x = b via QR. Throws std::domain_error if A
+/// is numerically singular.
+[[nodiscard]] CVec solve(const CMat& a, const CVec& b);
+
+/// Solves A X = B for a square A and multiple right-hand sides.
+[[nodiscard]] CMat solve(const CMat& a, const CMat& b);
+
+}  // namespace roarray::linalg

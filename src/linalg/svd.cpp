@@ -1,0 +1,112 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eig.hpp"
+
+namespace roarray::linalg {
+
+namespace {
+
+/// Orthonormalizes the columns of m whose `valid` flag is false against
+/// all other columns, filling them with arbitrary orthonormal complements
+/// (used when a singular value is numerically zero).
+void complete_basis(CMat& m, const std::vector<bool>& valid) {
+  const index_t rows = m.rows();
+  const index_t cols = m.cols();
+  for (index_t j = 0; j < cols; ++j) {
+    if (valid[static_cast<std::size_t>(j)]) continue;
+    // Try canonical basis vectors until one survives projection.
+    for (index_t seed = 0; seed < rows; ++seed) {
+      CVec cand(rows);
+      cand[seed] = cxd{1.0, 0.0};
+      // Two rounds of modified Gram-Schmidt for stability.
+      for (int round = 0; round < 2; ++round) {
+        for (index_t k = 0; k < cols; ++k) {
+          if (k == j) continue;
+          if (!valid[static_cast<std::size_t>(k)] && k > j) continue;
+          const CVec other = m.col_vec(k);
+          const cxd proj = dot(other, cand);
+          axpy(-proj, other, cand);
+        }
+      }
+      const double n = norm2(cand);
+      if (n > 1e-6) {
+        cand *= cxd{1.0 / n, 0.0};
+        m.set_col(j, cand);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+index_t SvdResult::rank(double tol) const {
+  if (singular_values.size() == 0) return 0;
+  const double cutoff = tol * singular_values[0];
+  index_t r = 0;
+  for (index_t i = 0; i < singular_values.size(); ++i) {
+    if (singular_values[i] > cutoff) ++r;
+  }
+  return r;
+}
+
+SvdResult svd(const CMat& a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t r = std::min(m, n);
+  SvdResult out;
+  out.singular_values = RVec(r);
+  out.u = CMat(m, r);
+  out.v = CMat(n, r);
+  if (r == 0) return out;
+
+  const bool gram_on_right = n <= m;  // eig of A^H A (n x n) vs A A^H (m x m)
+  CMat gram = gram_on_right ? matmul_adj_left(a, a)
+                            : matmul(a, adjoint(a));
+  const EigResult eg = eig_hermitian(gram);
+
+  // Eigenvalues ascending -> take the top r in descending order.
+  const index_t gn = gram.rows();
+  std::vector<bool> u_valid(static_cast<std::size_t>(r), true);
+  std::vector<bool> v_valid(static_cast<std::size_t>(r), true);
+  // Recompute each singular value as ||A w|| (or ||A^H w||): this is far
+  // more accurate for small sigma than sqrt of the Gram eigenvalue,
+  // whose absolute error is ~eps * sigma_max^2.
+  double sigma_max = 0.0;
+  for (index_t k = 0; k < r; ++k) {
+    const index_t src = gn - 1 - k;
+    const CVec w = eg.eigenvectors.col_vec(src);
+    CVec other = gram_on_right ? matvec(a, w) : matvec_adj(a, w);
+    const double sigma = norm2(other);
+    sigma_max = std::max(sigma_max, sigma);
+    const double cutoff = kRankTol * std::max(sigma_max, 1e-300);
+    out.singular_values[k] = sigma;
+    if (gram_on_right) {
+      out.v.set_col(k, w);
+      if (sigma > cutoff) {
+        other *= cxd{1.0 / sigma, 0.0};
+        out.u.set_col(k, other);
+      } else {
+        out.singular_values[k] = 0.0;
+        u_valid[static_cast<std::size_t>(k)] = false;
+      }
+    } else {
+      out.u.set_col(k, w);
+      if (sigma > cutoff) {
+        other *= cxd{1.0 / sigma, 0.0};
+        out.v.set_col(k, other);
+      } else {
+        out.singular_values[k] = 0.0;
+        v_valid[static_cast<std::size_t>(k)] = false;
+      }
+    }
+  }
+  complete_basis(out.u, u_valid);
+  complete_basis(out.v, v_valid);
+  return out;
+}
+
+}  // namespace roarray::linalg

@@ -1,0 +1,26 @@
+// Singular value decomposition for complex matrices.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::linalg {
+
+/// Thin SVD A = U diag(sigma) V^H with r = min(rows, cols) columns.
+/// Singular values are sorted descending.
+struct SvdResult {
+  CMat u;                  ///< rows x r, orthonormal columns.
+  RVec singular_values;    ///< length r, descending, >= 0.
+  CMat v;                  ///< cols x r, orthonormal columns.
+
+  /// Numerical rank at relative tolerance tol (default kRankTol).
+  [[nodiscard]] index_t rank(double tol = kRankTol) const;
+};
+
+/// Computes the thin SVD via a Hermitian eigendecomposition of the
+/// smaller Gram matrix (A^H A or A A^H). Accurate to ~sqrt(machine eps)
+/// for small singular values, which is ample for the subspace/fusion
+/// uses in this library (dominant-subspace extraction).
+[[nodiscard]] SvdResult svd(const CMat& a);
+
+}  // namespace roarray::linalg

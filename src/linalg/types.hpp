@@ -1,0 +1,22 @@
+// Basic scalar types and numeric tolerances shared across the library.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace roarray::linalg {
+
+/// Complex double — the scalar type for all CSI and steering arithmetic.
+using cxd = std::complex<double>;
+
+/// Index type used throughout (signed arithmetic per ES.102).
+using index_t = std::ptrdiff_t;
+
+/// Default relative tolerance for decomposition convergence tests.
+inline constexpr double kDefaultTol = 1e-12;
+
+/// Tolerance used to decide numerical rank (singular values below
+/// kRankTol * sigma_max are treated as zero).
+inline constexpr double kRankTol = 1e-10;
+
+}  // namespace roarray::linalg

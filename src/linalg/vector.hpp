@@ -1,0 +1,185 @@
+// Dense vector over an arbitrary scalar (double or complex<double>).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/types.hpp"
+
+namespace roarray::linalg {
+
+namespace detail {
+
+/// conj() that is the identity for real scalars, std::conj for complex.
+inline double conj_scalar(double x) noexcept { return x; }
+inline cxd conj_scalar(const cxd& x) noexcept { return std::conj(x); }
+
+/// |x|^2 for real and complex scalars.
+inline double abs_sq(double x) noexcept { return x * x; }
+inline double abs_sq(const cxd& x) noexcept { return std::norm(x); }
+
+}  // namespace detail
+
+/// A dense, heap-backed mathematical vector.
+///
+/// Supports the small set of BLAS-1 style operations the rest of the
+/// library needs. Element access is bounds-checked via at(); operator[]
+/// is unchecked for hot loops.
+template <typename T>
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Zero-initialized vector of size n.
+  explicit Vector(index_t n) : data_(static_cast<std::size_t>(require_size(n))) {}
+
+  /// Vector of size n with every element equal to value.
+  Vector(index_t n, T value)
+      : data_(static_cast<std::size_t>(require_size(n)), value) {}
+
+  Vector(std::initializer_list<T> init) : data_(init) {}
+
+  /// Builds a vector by copying a span of elements.
+  explicit Vector(std::span<const T> elems) : data_(elems.begin(), elems.end()) {}
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator[](index_t i) noexcept { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](index_t i) const noexcept {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Bounds-checked element access.
+  T& at(index_t i) {
+    check_index(i);
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const T& at(index_t i) const {
+    check_index(i);
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Resizes, zero-filling any new elements.
+  void resize(index_t n) { data_.resize(static_cast<std::size_t>(require_size(n))); }
+
+  Vector& operator+=(const Vector& rhs) {
+    check_same_size(rhs);
+    for (index_t i = 0; i < size(); ++i) (*this)[i] += rhs[i];
+    return *this;
+  }
+  Vector& operator-=(const Vector& rhs) {
+    check_same_size(rhs);
+    for (index_t i = 0; i < size(); ++i) (*this)[i] -= rhs[i];
+    return *this;
+  }
+  Vector& operator*=(T scalar) {
+    for (auto& v : data_) v *= scalar;
+    return *this;
+  }
+
+  [[nodiscard]] friend Vector operator+(Vector lhs, const Vector& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Vector operator-(Vector lhs, const Vector& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  [[nodiscard]] friend Vector operator*(Vector lhs, T scalar) {
+    lhs *= scalar;
+    return lhs;
+  }
+  [[nodiscard]] friend Vector operator*(T scalar, Vector rhs) {
+    rhs *= scalar;
+    return rhs;
+  }
+
+ private:
+  static index_t require_size(index_t n) {
+    if (n < 0) throw std::invalid_argument("Vector: negative size");
+    return n;
+  }
+  void check_index(index_t i) const {
+    if (i < 0 || i >= size()) throw std::out_of_range("Vector::at: index out of range");
+  }
+  void check_same_size(const Vector& rhs) const {
+    if (rhs.size() != size()) throw std::invalid_argument("Vector: size mismatch");
+  }
+
+  std::vector<T> data_;
+};
+
+using CVec = Vector<cxd>;
+using RVec = Vector<double>;
+
+/// Inner product <x, y> = sum_i conj(x_i) * y_i  (conjugate-linear in x).
+template <typename T>
+[[nodiscard]] T dot(const Vector<T>& x, const Vector<T>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  T acc{};
+  for (index_t i = 0; i < x.size(); ++i) acc += detail::conj_scalar(x[i]) * y[i];
+  return acc;
+}
+
+/// Euclidean norm.
+template <typename T>
+[[nodiscard]] double norm2(const Vector<T>& x) {
+  double acc = 0.0;
+  for (index_t i = 0; i < x.size(); ++i) acc += detail::abs_sq(x[i]);
+  return std::sqrt(acc);
+}
+
+/// Squared Euclidean norm.
+template <typename T>
+[[nodiscard]] double norm2_sq(const Vector<T>& x) {
+  double acc = 0.0;
+  for (index_t i = 0; i < x.size(); ++i) acc += detail::abs_sq(x[i]);
+  return acc;
+}
+
+/// Sum of element magnitudes (the l1 norm used by the sparse solvers).
+template <typename T>
+[[nodiscard]] double norm1(const Vector<T>& x) {
+  double acc = 0.0;
+  for (index_t i = 0; i < x.size(); ++i) acc += std::abs(x[i]);
+  return acc;
+}
+
+/// Largest element magnitude.
+template <typename T>
+[[nodiscard]] double norm_inf(const Vector<T>& x) {
+  double acc = 0.0;
+  for (index_t i = 0; i < x.size(); ++i) acc = std::max(acc, std::abs(x[i]));
+  return acc;
+}
+
+/// y += alpha * x.
+template <typename T>
+void axpy(T alpha, const Vector<T>& x, Vector<T>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (index_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace roarray::linalg

@@ -1,0 +1,54 @@
+#include "loc/localize.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "dsp/angles.hpp"
+
+namespace roarray::loc {
+
+LocalizeResult localize(std::span<const ApObservation> observations,
+                        const LocalizeConfig& cfg) {
+  cfg.room.validate();
+  if (cfg.grid_step_m <= 0.0) {
+    throw std::invalid_argument("localize: grid step must be positive");
+  }
+  LocalizeResult out;
+  if (observations.empty()) return out;
+
+  const auto nx = static_cast<linalg::index_t>(
+      std::floor(cfg.room.width_m / cfg.grid_step_m)) + 1;
+  const auto ny = static_cast<linalg::index_t>(
+      std::floor(cfg.room.height_m / cfg.grid_step_m)) + 1;
+
+  double best = std::numeric_limits<double>::max();
+  for (linalg::index_t iy = 0; iy < ny; ++iy) {
+    for (linalg::index_t ix = 0; ix < nx; ++ix) {
+      const Vec2 cand{static_cast<double>(ix) * cfg.grid_step_m,
+                      static_cast<double>(iy) * cfg.grid_step_m};
+      double cost = 0.0;
+      bool degenerate = false;
+      for (const ApObservation& o : observations) {
+        // Skip candidates sitting exactly on an AP (AoA undefined).
+        if (channel::distance(cand, o.pose.position) < 1e-9) {
+          degenerate = true;
+          break;
+        }
+        const double phi = o.pose.aoa_of_point(cand);
+        const double d = dsp::angle_diff_deg(phi, o.aoa_deg);
+        cost += o.weight * d * d;
+      }
+      if (degenerate) continue;
+      if (cost < best) {
+        best = cost;
+        out.position = cand;
+      }
+    }
+  }
+  out.cost = best;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace roarray::loc

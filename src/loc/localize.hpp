@@ -1,0 +1,42 @@
+// Multi-AP localization: RSSI-weighted AoA triangulation on a candidate
+// grid (paper Eq. 19, Section III-D "Multi-AP localization").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "channel/geometry.hpp"
+
+namespace roarray::loc {
+
+using channel::ApPose;
+using channel::Room;
+using channel::Vec2;
+
+/// One AP's contribution: its pose, the estimated direct-path AoA, and
+/// an RSSI-derived weight (linear power; relative scale is what matters).
+struct ApObservation {
+  ApPose pose;
+  double aoa_deg = 0.0;
+  double weight = 1.0;
+};
+
+struct LocalizeConfig {
+  Room room;
+  double grid_step_m = 0.1;  ///< the paper's 10 cm search grid.
+};
+
+struct LocalizeResult {
+  Vec2 position;
+  double cost = 0.0;   ///< weighted squared AoA deviation at the optimum.
+  bool valid = false;  ///< false when no observations were given.
+};
+
+/// Finds argmin_x sum_i R_i * (phi_i(x) - phi_hat_i)^2 over a uniform
+/// grid covering the room, where phi_i(x) is the AoA AP i would observe
+/// for a target at x. Throws std::invalid_argument on a non-positive
+/// grid step.
+[[nodiscard]] LocalizeResult localize(std::span<const ApObservation> observations,
+                                      const LocalizeConfig& cfg);
+
+}  // namespace roarray::loc

@@ -1,0 +1,111 @@
+#include "music/arraytrack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/steering.hpp"
+#include "music/covariance.hpp"
+#include "music/model_order.hpp"
+
+namespace roarray::music {
+
+using linalg::cxd;
+
+ArrayTrackResult arraytrack_estimate(std::span<const CMat> packets,
+                                     const ArrayTrackConfig& cfg,
+                                     const dsp::ArrayConfig& array_cfg) {
+  if (packets.empty()) {
+    throw std::invalid_argument("arraytrack_estimate: no packets");
+  }
+  const index_t m = array_cfg.num_antennas;
+  const index_t l = array_cfg.num_subcarriers;
+
+  // ArrayTrack is a per-packet pipeline: each packet's subcarriers form
+  // the snapshots of one M x M covariance, one MUSIC pseudo-spectrum is
+  // computed per packet, and the per-packet spectra are averaged. (At
+  // low SNR the per-packet subspace estimates individually degrade —
+  // the behavior the paper measures — unlike a single covariance pooled
+  // over the whole burst, which would average the noise away.)
+  ArrayTrackResult out;
+  out.spectrum.grid = cfg.aoa_grid;
+  out.spectrum.values = linalg::RVec(cfg.aoa_grid.size());
+  CMat r_pooled(m, m);  // pooled covariance for the Bartlett anchor
+  const index_t groups = std::clamp<index_t>(cfg.snapshots_per_packet, 1, l);
+  for (const CMat& csi : packets) {
+    if (csi.rows() != m || csi.cols() != l) {
+      throw std::invalid_argument("arraytrack_estimate: CSI shape mismatch");
+    }
+    // Coherently average consecutive subcarriers into `groups` snapshots
+    // (preamble time-sample model; see ArrayTrackConfig).
+    CMat snapshots(m, groups);
+    for (index_t g = 0; g < groups; ++g) {
+      const index_t lo = g * l / groups;
+      const index_t hi = (g + 1) * l / groups;
+      for (index_t a = 0; a < m; ++a) {
+        cxd acc{};
+        for (index_t s = lo; s < hi; ++s) acc += csi(a, s);
+        snapshots(a, g) =
+            acc / static_cast<double>(std::max<index_t>(1, hi - lo));
+      }
+    }
+    CMat r = sample_covariance(snapshots);
+    r_pooled += r;
+    if (cfg.forward_backward) r = forward_backward_average(r);
+
+    index_t k = std::clamp<index_t>(cfg.num_paths, 1, m - 1);
+    if (cfg.adaptive_order) {
+      const auto eg = linalg::eig_hermitian(r);
+      const index_t mdl = estimate_model_order(eg.eigenvalues, groups);
+      k = std::clamp<index_t>(mdl, 1, k);
+    }
+    const dsp::Spectrum1d spec = music_spectrum_aoa(r, k, cfg.aoa_grid, array_cfg);
+    for (index_t i = 0; i < cfg.aoa_grid.size(); ++i) {
+      out.spectrum.values[i] += spec.values[i];
+    }
+  }
+  out.spectrum.normalize();
+  const CMat r = r_pooled * cxd{1.0 / static_cast<double>(packets.size()), 0.0};
+  out.peaks = out.spectrum.find_peaks(/*max_peaks=*/cfg.num_paths + 1,
+                                      /*min_rel_height=*/0.05,
+                                      /*min_separation=*/2);
+  if (!out.peaks.empty() && !cfg.bartlett_anchor) {
+    // Historical behavior: strongest peak = direct path.
+    out.direct_aoa_deg = out.peaks.front().aoa_deg;
+    out.valid = true;
+  } else if (!out.peaks.empty()) {
+    // With M = 3 and K = 2 the 1-dimensional noise space has two
+    // spectral roots; when the true paths nearly coincide the second
+    // root is spurious and can outshine the real one. Anchor the pick
+    // on the dominant-energy (Bartlett) direction: the direct path is
+    // the MUSIC peak closest to where the signal power actually points.
+    double bartlett_best = -1.0;
+    double bartlett_dir = out.peaks.front().aoa_deg;
+    for (index_t i = 0; i < cfg.aoa_grid.size(); ++i) {
+      const auto s = dsp::steering_aoa(cfg.aoa_grid[i], array_cfg);
+      const linalg::CVec rs = matvec(r, s);
+      const double power = std::abs(dot(s, rs));
+      if (power > bartlett_best) {
+        bartlett_best = power;
+        bartlett_dir = cfg.aoa_grid[i];
+      }
+    }
+    const dsp::Peak* pick = &out.peaks.front();
+    for (const dsp::Peak& p : out.peaks) {
+      if (std::abs(p.aoa_deg - bartlett_dir) <
+          std::abs(pick->aoa_deg - bartlett_dir)) {
+        pick = &p;
+      }
+    }
+    // If every MUSIC peak is far from the energy direction, they are
+    // all spurious roots — fall back to plain beamforming.
+    if (std::abs(pick->aoa_deg - bartlett_dir) > 15.0) {
+      out.direct_aoa_deg = bartlett_dir;
+    } else {
+      out.direct_aoa_deg = pick->aoa_deg;
+    }
+    out.valid = true;
+  }
+  return out;
+}
+
+}  // namespace roarray::music

@@ -1,0 +1,112 @@
+#include "music/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace roarray::music {
+
+namespace {
+
+double dist_sq(const FeaturePoint& p, double cx, double cy) {
+  const double dx = p.x - cx;
+  const double dy = p.y - cy;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+std::vector<Cluster> kmeans(const std::vector<FeaturePoint>& points, index_t k,
+                            int max_iterations) {
+  if (points.empty()) throw std::invalid_argument("kmeans: no points");
+  if (k < 1) throw std::invalid_argument("kmeans: k < 1");
+  k = std::min<index_t>(k, static_cast<index_t>(points.size()));
+
+  // Farthest-first initialization, seeded at the heaviest point:
+  // deterministic and spreads centers across the candidate cloud.
+  std::vector<std::pair<double, double>> centers;
+  index_t seed = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].weight > points[static_cast<std::size_t>(seed)].weight) {
+      seed = static_cast<index_t>(i);
+    }
+  }
+  centers.emplace_back(points[static_cast<std::size_t>(seed)].x,
+                       points[static_cast<std::size_t>(seed)].y);
+  while (static_cast<index_t>(centers.size()) < k) {
+    double best_d = -1.0;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double d = std::numeric_limits<double>::max();
+      for (const auto& [cx, cy] : centers) {
+        d = std::min(d, dist_sq(points[i], cx, cy));
+      }
+      if (d > best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    centers.emplace_back(points[best_i].x, points[best_i].y);
+  }
+
+  std::vector<index_t> assign(points.size(), 0);
+  for (int it = 0; it < max_iterations; ++it) {
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      index_t best_c = 0;
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d = dist_sq(points[i], centers[c].first, centers[c].second);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<index_t>(c);
+        }
+      }
+      if (assign[i] != best_c) {
+        assign[i] = best_c;
+        changed = true;
+      }
+    }
+    // Weighted centroid update.
+    std::vector<double> wx(centers.size(), 0.0), wy(centers.size(), 0.0),
+        w(centers.size(), 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(assign[i]);
+      wx[c] += points[i].weight * points[i].x;
+      wy[c] += points[i].weight * points[i].y;
+      w[c] += points[i].weight;
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (w[c] > 0.0) centers[c] = {wx[c] / w[c], wy[c] / w[c]};
+    }
+    if (!changed && it > 0) break;
+  }
+
+  // Assemble non-empty clusters with weighted statistics.
+  std::vector<Cluster> out(centers.size());
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    out[c].cx = centers[c].first;
+    out[c].cy = centers[c].second;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& cl = out[static_cast<std::size_t>(assign[i])];
+    cl.members.push_back(static_cast<index_t>(i));
+    cl.total_weight += points[i].weight;
+  }
+  for (auto& cl : out) {
+    if (cl.members.empty() || cl.total_weight <= 0.0) continue;
+    double vx = 0.0, vy = 0.0;
+    for (index_t idx : cl.members) {
+      const auto& p = points[static_cast<std::size_t>(idx)];
+      vx += p.weight * (p.x - cl.cx) * (p.x - cl.cx);
+      vy += p.weight * (p.y - cl.cy) * (p.y - cl.cy);
+    }
+    cl.var_x = vx / cl.total_weight;
+    cl.var_y = vy / cl.total_weight;
+  }
+  std::erase_if(out, [](const Cluster& c) { return c.members.empty(); });
+  return out;
+}
+
+}  // namespace roarray::music

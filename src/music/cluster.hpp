@@ -1,0 +1,36 @@
+// Deterministic k-means clustering in 2-D (AoA, ToA) feature space,
+// used by the SpotFi baseline to merge per-packet path candidates.
+#pragma once
+
+#include <vector>
+
+#include "linalg/types.hpp"
+
+namespace roarray::music {
+
+using linalg::index_t;
+
+/// A 2-D feature point (already normalized by the caller).
+struct FeaturePoint {
+  double x = 0.0;
+  double y = 0.0;
+  double weight = 1.0;  ///< spectrum power of the candidate.
+};
+
+/// One cluster of feature points.
+struct Cluster {
+  double cx = 0.0;  ///< weighted centroid x.
+  double cy = 0.0;  ///< weighted centroid y.
+  double var_x = 0.0;
+  double var_y = 0.0;
+  double total_weight = 0.0;
+  std::vector<index_t> members;  ///< indices into the input points.
+};
+
+/// k-means with deterministic farthest-first initialization. Returns at
+/// most k non-empty clusters (fewer if points < k or clusters empty out).
+/// Throws std::invalid_argument on empty input or k < 1.
+[[nodiscard]] std::vector<Cluster> kmeans(const std::vector<FeaturePoint>& points,
+                                          index_t k, int max_iterations = 50);
+
+}  // namespace roarray::music

@@ -1,0 +1,33 @@
+#include "music/covariance.hpp"
+
+#include <stdexcept>
+
+namespace roarray::music {
+
+using linalg::cxd;
+
+CMat sample_covariance(const CMat& snapshots) {
+  if (snapshots.cols() < 1) {
+    throw std::invalid_argument("sample_covariance: no snapshots");
+  }
+  CMat r = matmul(snapshots, adjoint(snapshots));
+  r *= cxd{1.0 / static_cast<double>(snapshots.cols()), 0.0};
+  return r;
+}
+
+CMat forward_backward_average(const CMat& r) {
+  if (r.rows() != r.cols()) {
+    throw std::invalid_argument("forward_backward_average: not square");
+  }
+  const index_t n = r.rows();
+  CMat out(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      // (J conj(R) J)(i, j) = conj(R(n-1-i, n-1-j))
+      out(i, j) = 0.5 * (r(i, j) + std::conj(r(n - 1 - i, n - 1 - j)));
+    }
+  }
+  return out;
+}
+
+}  // namespace roarray::music

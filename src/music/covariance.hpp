@@ -1,0 +1,20 @@
+// Sample covariance estimation for subspace methods.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace roarray::music {
+
+using linalg::CMat;
+using linalg::index_t;
+
+/// Sample covariance R = (1/T) Y Y^H from a d x T snapshot matrix.
+/// Throws std::invalid_argument if there are no snapshots.
+[[nodiscard]] CMat sample_covariance(const CMat& snapshots);
+
+/// Forward-backward averaging: R_fb = (R + J conj(R) J) / 2 with J the
+/// exchange matrix. Decorrelates coherent sources on a ULA and improves
+/// conditioning at low snapshot counts.
+[[nodiscard]] CMat forward_backward_average(const CMat& r);
+
+}  // namespace roarray::music

@@ -1,0 +1,56 @@
+#include "music/model_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roarray::music {
+
+index_t estimate_model_order(const RVec& eigenvalues_ascending,
+                             index_t num_snapshots, OrderCriterion criterion) {
+  const index_t d = eigenvalues_ascending.size();
+  if (d < 2) throw std::invalid_argument("estimate_model_order: need >= 2 eigenvalues");
+  if (num_snapshots < 1) {
+    throw std::invalid_argument("estimate_model_order: need >= 1 snapshot");
+  }
+  const double n = static_cast<double>(num_snapshots);
+
+  // Work with descending eigenvalues clipped to a tiny positive floor so
+  // logs stay finite on rank-deficient covariances.
+  RVec lam(d);
+  for (index_t i = 0; i < d; ++i) {
+    lam[i] = std::max(eigenvalues_ascending[d - 1 - i], 1e-300);
+  }
+
+  double best_score = 0.0;
+  index_t best_k = 0;
+  for (index_t k = 0; k < d; ++k) {
+    // Likelihood term over the d - k smallest eigenvalues: log of the
+    // ratio of geometric to arithmetic mean.
+    const index_t tail = d - k;
+    double log_geo = 0.0;
+    double arith = 0.0;
+    for (index_t i = k; i < d; ++i) {
+      log_geo += std::log(lam[i]);
+      arith += lam[i];
+    }
+    log_geo /= static_cast<double>(tail);
+    arith /= static_cast<double>(tail);
+    const double log_ratio = log_geo - std::log(std::max(arith, 1e-300));
+    const double likelihood = -n * static_cast<double>(tail) * log_ratio;
+
+    const double free_params =
+        static_cast<double>(k) * static_cast<double>(2 * d - k);
+    const double penalty = criterion == OrderCriterion::kAic
+                               ? free_params
+                               : 0.5 * free_params * std::log(n);
+    const double score = likelihood + penalty;
+    if (k == 0 || score < best_score) {
+      best_score = score;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace roarray::music

@@ -1,0 +1,31 @@
+// Model-order (source count) estimation from covariance eigenvalues.
+// SpotFi fixes K = 5 (paper footnote 8); these information-theoretic
+// estimators exist so tests and ablations can quantify what that
+// inaccuracy costs MUSIC — and show ROArray does not need K at all.
+#pragma once
+
+#include "linalg/types.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::music {
+
+using linalg::index_t;
+using linalg::RVec;
+
+/// Criterion flavor.
+enum class OrderCriterion {
+  kAic,  ///< Akaike information criterion.
+  kMdl,  ///< minimum description length (consistent; preferred).
+};
+
+/// Estimates the number of sources from the (ascending) eigenvalues of a
+/// d x d sample covariance built from `num_snapshots` snapshots, by
+/// minimizing AIC/MDL over k = 0 .. d-1 (Wax & Kailath 1985). Returns a
+/// value in [0, d-1]. Throws std::invalid_argument on empty input or
+/// non-positive snapshot count.
+[[nodiscard]] index_t estimate_model_order(const RVec& eigenvalues_ascending,
+                                           index_t num_snapshots,
+                                           OrderCriterion criterion
+                                           = OrderCriterion::kMdl);
+
+}  // namespace roarray::music

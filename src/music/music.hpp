@@ -1,0 +1,38 @@
+// The MUSIC pseudo-spectrum (Schmidt 1986), 1-D (AoA) and joint 2-D
+// (AoA, ToA) variants — the engine behind the ArrayTrack and SpotFi
+// baselines the paper compares against.
+#pragma once
+
+#include "dsp/grid.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/steering.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/matrix.hpp"
+
+namespace roarray::music {
+
+using linalg::CMat;
+using linalg::index_t;
+
+/// Extracts the noise subspace (eigenvectors of the d - k smallest
+/// eigenvalues) from a d x d Hermitian covariance. Throws
+/// std::invalid_argument unless 0 < k < d.
+[[nodiscard]] CMat noise_subspace(const CMat& covariance, index_t k);
+
+/// 1-D spatial MUSIC: P(theta) = 1 / ||E_n^H s(theta)||^2 over the grid.
+/// `covariance` is M x M, k the assumed source count. The returned
+/// spectrum is normalized to peak 1.
+[[nodiscard]] dsp::Spectrum1d music_spectrum_aoa(const CMat& covariance,
+                                                 index_t k,
+                                                 const dsp::Grid& aoa_grid_deg,
+                                                 const dsp::ArrayConfig& cfg);
+
+/// Joint 2-D MUSIC over (AoA, ToA) on smoothed (ms*ls)-dimensional
+/// snapshots: the steering vectors are steering_joint_sub(..., ms, ls).
+/// `covariance` must be (ms*ls) x (ms*ls). Normalized to peak 1.
+[[nodiscard]] dsp::Spectrum2d music_spectrum_joint(
+    const CMat& covariance, index_t k, const dsp::Grid& aoa_grid_deg,
+    const dsp::Grid& toa_grid_s, const dsp::ArrayConfig& cfg,
+    index_t sub_antennas, index_t sub_carriers);
+
+}  // namespace roarray::music

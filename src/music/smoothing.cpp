@@ -1,0 +1,53 @@
+#include "music/smoothing.hpp"
+
+#include <stdexcept>
+
+namespace roarray::music {
+
+CMat smooth_csi(const CMat& csi, const SmoothingConfig& cfg) {
+  const index_t m = csi.rows();
+  const index_t l = csi.cols();
+  const index_t ms = cfg.sub_antennas;
+  const index_t ls = cfg.sub_carriers;
+  if (ms < 1 || ms > m || ls < 1 || ls > l) {
+    throw std::invalid_argument("smooth_csi: window does not fit CSI matrix");
+  }
+  const index_t na = m - ms + 1;  // antenna window positions
+  const index_t nc = l - ls + 1;  // subcarrier window positions
+  CMat out(ms * ls, na * nc);
+  for (index_t ca = 0; ca < na; ++ca) {
+    for (index_t cc = 0; cc < nc; ++cc) {
+      const index_t snap = ca * nc + cc;
+      for (index_t wl = 0; wl < ls; ++wl) {
+        for (index_t wm = 0; wm < ms; ++wm) {
+          out(wl * ms + wm, snap) = csi(ca + wm, cc + wl);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CMat smooth_csi_packets(std::span<const CMat> packets,
+                        const SmoothingConfig& cfg) {
+  if (packets.empty()) {
+    throw std::invalid_argument("smooth_csi_packets: no packets");
+  }
+  const CMat first = smooth_csi(packets[0], cfg);
+  const index_t per_packet = first.cols();
+  CMat out(first.rows(), per_packet * static_cast<index_t>(packets.size()));
+  for (index_t j = 0; j < per_packet; ++j) out.set_col(j, first.col_vec(j));
+  for (std::size_t p = 1; p < packets.size(); ++p) {
+    if (packets[p].rows() != packets[0].rows() ||
+        packets[p].cols() != packets[0].cols()) {
+      throw std::invalid_argument("smooth_csi_packets: inconsistent CSI shapes");
+    }
+    const CMat s = smooth_csi(packets[p], cfg);
+    for (index_t j = 0; j < per_packet; ++j) {
+      out.set_col(static_cast<index_t>(p) * per_packet + j, s.col_vec(j));
+    }
+  }
+  return out;
+}
+
+}  // namespace roarray::music

@@ -1,0 +1,113 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+
+namespace roarray::sim {
+
+const char* snr_band_name(SnrBand band) {
+  switch (band) {
+    case SnrBand::kHigh: return "high SNRs, >=15 dB";
+    case SnrBand::kMedium: return "medium SNRs, (2,15) dB";
+    case SnrBand::kLow: return "low SNRs, <=2 dB";
+  }
+  return "unknown";
+}
+
+double sample_snr_db(SnrBand band, std::mt19937_64& rng) {
+  switch (band) {
+    case SnrBand::kHigh: {
+      std::uniform_real_distribution<double> d(15.0, 25.0);
+      return d(rng);
+    }
+    case SnrBand::kMedium: {
+      std::uniform_real_distribution<double> d(2.5, 14.5);
+      return d(rng);
+    }
+    case SnrBand::kLow: {
+      std::uniform_real_distribution<double> d(-3.0, 2.0);
+      return d(rng);
+    }
+  }
+  throw std::invalid_argument("sample_snr_db: unknown band");
+}
+
+ScenarioConfig scenario_for_band(SnrBand band) {
+  ScenarioConfig cfg;
+  cfg.snr_band = band;
+  switch (band) {
+    case SnrBand::kHigh:
+      cfg.los_block_probability = 0.15;
+      cfg.los_block_loss_db = 6.0;
+      break;
+    case SnrBand::kMedium:
+      cfg.los_block_probability = 0.35;
+      cfg.los_block_loss_db = 9.0;
+      break;
+    case SnrBand::kLow:
+      cfg.los_block_probability = 0.6;
+      cfg.los_block_loss_db = 12.0;
+      break;
+  }
+  return cfg;
+}
+
+std::vector<ApMeasurement> generate_measurements(const Testbed& testbed,
+                                                 const Vec2& client,
+                                                 const ScenarioConfig& cfg,
+                                                 std::mt19937_64& rng) {
+  if (testbed.aps.empty()) {
+    throw std::invalid_argument("generate_measurements: testbed has no APs");
+  }
+  std::vector<ApMeasurement> out;
+  out.reserve(testbed.aps.size());
+  for (const ApPose& ap : testbed.aps) {
+    ApMeasurement m;
+    m.pose = ap;
+    m.paths = channel::trace_paths(testbed.room, ap, client, cfg.multipath,
+                                   cfg.array, testbed.scatterers);
+    if (cfg.los_block_probability > 0.0) {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      if (u(rng) < cfg.los_block_probability) {
+        // Obstructed direct path: attenuated but still first in ToA.
+        m.paths.front().gain *=
+            std::pow(10.0, -cfg.los_block_loss_db / 20.0);
+      }
+    }
+    m.true_direct_aoa_deg = m.paths.front().aoa_deg;  // sorted by ToA
+    m.true_direct_toa_s = m.paths.front().toa_s;
+    m.snr_db = sample_snr_db(cfg.snr_band, rng);
+
+    channel::BurstConfig bc;
+    bc.num_packets = cfg.num_packets;
+    bc.snr_db = m.snr_db;
+    bc.max_detection_delay_s = cfg.max_detection_delay_s;
+    bc.antenna_phase_offsets_rad = cfg.antenna_phase_offsets_rad;
+    if (bc.antenna_phase_offsets_rad.empty() &&
+        cfg.residual_phase_noise_rad > 0.0) {
+      std::normal_distribution<double> resid(0.0, cfg.residual_phase_noise_rad);
+      bc.antenna_phase_offsets_rad.resize(
+          static_cast<std::size_t>(cfg.array.num_antennas));
+      for (double& o : bc.antenna_phase_offsets_rad) o = resid(rng);
+    }
+    if (cfg.residual_gain_noise > 0.0) {
+      std::normal_distribution<double> gain(1.0, cfg.residual_gain_noise);
+      bc.antenna_gains.resize(static_cast<std::size_t>(cfg.array.num_antennas));
+      for (auto& g : bc.antenna_gains) {
+        g = linalg::cxd{std::max(0.2, gain(rng)), 0.0};
+      }
+    }
+    bc.polarization_scale = cfg.polarization_scale;
+    bc.path_phase_jitter_rad = cfg.path_phase_jitter_rad;
+    bc.polarization_deviation_rad = cfg.polarization_deviation_rad;
+    m.burst = channel::generate_burst(m.paths, cfg.array, bc, rng);
+    // Measured RSSI (signal + noise), as a real receiver would report —
+    // at low SNR the noise floor flattens the weights.
+    double rssi_acc = 0.0;
+    for (const auto& csi : m.burst.csi) rssi_acc += channel::mean_power(csi);
+    m.rssi_weight = rssi_acc / static_cast<double>(m.burst.csi.size());
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace roarray::sim

@@ -1,0 +1,45 @@
+#include "sim/testbed.hpp"
+
+#include <stdexcept>
+
+namespace roarray::sim {
+
+Testbed make_paper_testbed() {
+  Testbed t;
+  t.room = Room{18.0, 12.0};
+  // Arrays sit 0.5 m off the walls, axes parallel to the nearest wall so
+  // the [0, 180] deg half-plane faces into the room.
+  t.aps = {
+      ApPose{{0.5, 6.0}, 90.0},    // west wall, vertical array
+      ApPose{{17.5, 6.0}, 90.0},   // east wall
+      ApPose{{9.0, 0.5}, 0.0},     // south wall, horizontal array
+      ApPose{{9.0, 11.5}, 0.0},    // north wall
+      ApPose{{4.5, 0.5}, 0.0},     // south-west
+      ApPose{{13.5, 11.5}, 0.0},   // north-east
+  };
+  // Fixed interior scatterers: a classroom's desks, cabinets and people,
+  // spread over the floor (deterministic so experiments are repeatable).
+  t.scatterers = {
+      {3.2, 2.8},  {6.7, 9.1},  {10.4, 3.6}, {13.8, 7.9}, {15.6, 2.2},
+      {2.4, 10.1}, {8.9, 6.4},  {12.1, 10.6}, {5.3, 5.7},  {16.2, 9.3},
+  };
+  return t;
+}
+
+std::vector<Vec2> sample_client_locations(index_t n, const Room& room,
+                                          std::mt19937_64& rng,
+                                          double margin_m) {
+  room.validate();
+  if (n < 0) throw std::invalid_argument("sample_client_locations: n < 0");
+  if (2.0 * margin_m >= room.width_m || 2.0 * margin_m >= room.height_m) {
+    throw std::invalid_argument("sample_client_locations: margin too large");
+  }
+  std::uniform_real_distribution<double> ux(margin_m, room.width_m - margin_m);
+  std::uniform_real_distribution<double> uy(margin_m, room.height_m - margin_m);
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) out.push_back({ux(rng), uy(rng)});
+  return out;
+}
+
+}  // namespace roarray::sim

@@ -1,0 +1,37 @@
+// Testbed substrate: the paper's 18 m x 12 m classroom with 6 APs and
+// randomly sampled client test locations (Section IV-A, Figure 5).
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "channel/geometry.hpp"
+
+namespace roarray::sim {
+
+using channel::ApPose;
+using channel::Room;
+using channel::Vec2;
+using linalg::index_t;
+
+/// A deployment: room geometry, AP array poses, and the fixed point
+/// scatterers (furniture, pillars, people) that enrich the multipath.
+struct Testbed {
+  Room room;
+  std::vector<ApPose> aps;
+  std::vector<Vec2> scatterers;
+};
+
+/// The paper's testbed: 18 m x 12 m classroom covered by 6 three-antenna
+/// APs mounted near the walls with arrays parallel to the nearest wall,
+/// plus a fixed set of interior scatterers (desks, cabinets, people).
+[[nodiscard]] Testbed make_paper_testbed();
+
+/// Samples `n` client locations uniformly inside the room, keeping
+/// `margin_m` away from the walls (mirrors the red test dots of Fig. 5).
+[[nodiscard]] std::vector<Vec2> sample_client_locations(index_t n,
+                                                        const Room& room,
+                                                        std::mt19937_64& rng,
+                                                        double margin_m = 1.5);
+
+}  // namespace roarray::sim

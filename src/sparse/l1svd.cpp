@@ -1,0 +1,43 @@
+#include "sparse/l1svd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/svd.hpp"
+
+namespace roarray::sparse {
+
+SvdReduction reduce_snapshots(const CMat& snapshots, index_t k_keep,
+                              double rel_threshold) {
+  if (snapshots.rows() == 0 || snapshots.cols() == 0) {
+    throw std::invalid_argument("reduce_snapshots: empty snapshot matrix");
+  }
+  const linalg::SvdResult s = linalg::svd(snapshots);
+  const index_t r = s.singular_values.size();
+
+  SvdReduction out;
+  out.singular_values = s.singular_values;
+
+  index_t k = k_keep;
+  if (k <= 0) {
+    const double cutoff = rel_threshold * s.singular_values[0];
+    k = 0;
+    for (index_t i = 0; i < r; ++i) {
+      if (s.singular_values[i] >= cutoff) ++k;
+    }
+    k = std::max<index_t>(1, k);
+  }
+  k = std::min(k, r);
+  out.rank_estimate = k;
+
+  // Y V_k = U_k Sigma_k, computed from the thin factors directly.
+  out.reduced = CMat(snapshots.rows(), k);
+  for (index_t j = 0; j < k; ++j) {
+    for (index_t i = 0; i < snapshots.rows(); ++i) {
+      out.reduced(i, j) = s.u(i, j) * s.singular_values[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace roarray::sparse

@@ -1,0 +1,32 @@
+// l1-SVD multi-snapshot reduction (Malioutov, Cetin & Willsky 2005),
+// the paper's "multi-packet fusion" primitive: instead of solving one
+// sparse problem per packet and clustering, project the snapshot matrix
+// onto its K dominant singular directions and solve one small row-sparse
+// (l2,1) problem — coherent across the time domain.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::sparse {
+
+using linalg::CMat;
+using linalg::index_t;
+using linalg::RVec;
+
+/// Result of reducing a snapshot matrix to its dominant subspace.
+struct SvdReduction {
+  CMat reduced;              ///< m x k: Y V_k = U_k Sigma_k.
+  RVec singular_values;      ///< all min(m, p) singular values, descending.
+  index_t rank_estimate = 0; ///< number of singular values above the noise knee.
+};
+
+/// Reduces snapshots Y (m x p) to the k_keep dominant singular
+/// directions. If k_keep <= 0, k is estimated from the singular-value
+/// profile: the largest k with sigma_k >= rel_threshold * sigma_1,
+/// clamped to [1, min(m, p)].
+[[nodiscard]] SvdReduction reduce_snapshots(const CMat& snapshots,
+                                            index_t k_keep = -1,
+                                            double rel_threshold = 0.1);
+
+}  // namespace roarray::sparse

@@ -1,0 +1,119 @@
+#include "sparse/operator.hpp"
+
+namespace roarray::sparse {
+
+CMat LinearOperator::apply_mat(const CMat& x) const {
+  CMat y(rows(), x.cols());
+  for (index_t j = 0; j < x.cols(); ++j) y.set_col(j, apply(x.col_vec(j)));
+  return y;
+}
+
+CMat LinearOperator::apply_adjoint_mat(const CMat& y) const {
+  CMat x(cols(), y.cols());
+  for (index_t j = 0; j < y.cols(); ++j) x.set_col(j, apply_adjoint(y.col_vec(j)));
+  return x;
+}
+
+CMat LinearOperator::row_gram() const {
+  const index_t m = rows();
+  CMat g(m, m);
+  for (index_t i = 0; i < m; ++i) {
+    CVec e(m);
+    e[i] = cxd{1.0, 0.0};
+    g.set_col(i, apply(apply_adjoint(e)));
+  }
+  return g;
+}
+
+CVec DenseOperator::apply(const CVec& x) const { return matvec(s_, x); }
+
+CVec DenseOperator::apply_adjoint(const CVec& y) const { return matvec_adj(s_, y); }
+
+CMat DenseOperator::row_gram() const { return matmul(s_, adjoint(s_)); }
+
+CVec KroneckerOperator::apply(const CVec& x) const {
+  const index_t m = left_.rows(), nl = left_.cols();
+  const index_t l = right_.rows(), nr = right_.cols();
+  if (x.size() != nl * nr) throw std::invalid_argument("KroneckerOperator::apply: size");
+  // X(i, j) = x[j * nl + i]; B = left * X (m x nr); Y = B * right^T (m x l).
+  CMat b(m, nr);
+  for (index_t j = 0; j < nr; ++j) {
+    for (index_t i = 0; i < nl; ++i) {
+      const cxd xij = x[j * nl + i];
+      if (xij == cxd{}) continue;
+      auto lc = left_.col(i);
+      for (index_t r = 0; r < m; ++r) b(r, j) += lc[static_cast<std::size_t>(r)] * xij;
+    }
+  }
+  CVec y(m * l);
+  for (index_t j = 0; j < nr; ++j) {
+    auto rc = right_.col(j);
+    for (index_t li = 0; li < l; ++li) {
+      const cxd rj = rc[static_cast<std::size_t>(li)];
+      for (index_t r = 0; r < m; ++r) y[li * m + r] += b(r, j) * rj;
+    }
+  }
+  return y;
+}
+
+CVec KroneckerOperator::apply_adjoint(const CVec& y) const {
+  const index_t m = left_.rows(), nl = left_.cols();
+  const index_t l = right_.rows(), nr = right_.cols();
+  if (y.size() != m * l) {
+    throw std::invalid_argument("KroneckerOperator::apply_adjoint: size");
+  }
+  // Y(r, li) = y[li * m + r]; B = Y * conj(right) (m x nr);
+  // X = left^H * B (nl x nr); x[j * nl + i] = X(i, j).
+  CMat b(m, nr);
+  for (index_t j = 0; j < nr; ++j) {
+    auto rc = right_.col(j);
+    for (index_t li = 0; li < l; ++li) {
+      const cxd rj = std::conj(rc[static_cast<std::size_t>(li)]);
+      for (index_t r = 0; r < m; ++r) b(r, j) += y[li * m + r] * rj;
+    }
+  }
+  CVec x(nl * nr);
+  for (index_t j = 0; j < nr; ++j) {
+    for (index_t i = 0; i < nl; ++i) {
+      auto lc = left_.col(i);
+      cxd acc{};
+      for (index_t r = 0; r < m; ++r) {
+        acc += std::conj(lc[static_cast<std::size_t>(r)]) * b(r, j);
+      }
+      x[j * nl + i] = acc;
+    }
+  }
+  return x;
+}
+
+CMat KroneckerOperator::row_gram() const {
+  const CMat gl = matmul(left_, adjoint(left_));    // m x m
+  const CMat gr = matmul(right_, adjoint(right_));  // l x l
+  const index_t m = gl.rows();
+  const index_t l = gr.rows();
+  CMat g(m * l, m * l);
+  for (index_t lj = 0; lj < l; ++lj) {
+    for (index_t li = 0; li < l; ++li) {
+      const cxd grv = gr(li, lj);
+      for (index_t mj = 0; mj < m; ++mj) {
+        for (index_t mi = 0; mi < m; ++mi) {
+          g(li * m + mi, lj * m + mj) = grv * gl(mi, mj);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+CMat KroneckerOperator::to_dense() const {
+  const index_t n = cols();
+  CMat s(rows(), n);
+  for (index_t j = 0; j < n; ++j) {
+    CVec e(n);
+    e[j] = cxd{1.0, 0.0};
+    s.set_col(j, apply(e));
+  }
+  return s;
+}
+
+}  // namespace roarray::sparse

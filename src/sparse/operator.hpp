@@ -1,0 +1,107 @@
+// Abstract linear operators for the sparse-recovery solvers.
+//
+// Solvers only need S x, S^H y, and the small row Gram matrix S S^H, so
+// they are written against this interface. Two implementations exist:
+// a dense wrapper and a Kronecker-structured operator exploiting the
+// separable AoA x ToA structure of the joint steering matrix (paper
+// Eq. 16), which turns the dominant matvec cost from O(M*L*Nth*Ntau)
+// into O(M*Nth*Ntau + M*L*Ntau).
+#pragma once
+
+#include <memory>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::sparse {
+
+using linalg::CMat;
+using linalg::CVec;
+using linalg::cxd;
+using linalg::index_t;
+
+/// A complex linear map S : C^cols -> C^rows with adjoint access.
+class LinearOperator {
+ public:
+  LinearOperator() = default;
+  LinearOperator(const LinearOperator&) = default;
+  LinearOperator& operator=(const LinearOperator&) = default;
+  LinearOperator(LinearOperator&&) = default;
+  LinearOperator& operator=(LinearOperator&&) = default;
+  virtual ~LinearOperator() = default;
+
+  [[nodiscard]] virtual index_t rows() const noexcept = 0;
+  [[nodiscard]] virtual index_t cols() const noexcept = 0;
+
+  /// y = S x.
+  [[nodiscard]] virtual CVec apply(const CVec& x) const = 0;
+
+  /// x = S^H y.
+  [[nodiscard]] virtual CVec apply_adjoint(const CVec& y) const = 0;
+
+  /// Column-wise application to a multi-snapshot matrix (n x k -> m x k).
+  [[nodiscard]] virtual CMat apply_mat(const CMat& x) const;
+
+  /// Column-wise adjoint application (m x k -> n x k).
+  [[nodiscard]] virtual CMat apply_adjoint_mat(const CMat& y) const;
+
+  /// The small Gram matrix G = S S^H (rows x rows), used by ADMM through
+  /// the Woodbury identity. Default builds it column by column via
+  /// apply(apply_adjoint(e_i)).
+  [[nodiscard]] virtual CMat row_gram() const;
+};
+
+/// Dense operator wrapping an explicit matrix.
+class DenseOperator final : public LinearOperator {
+ public:
+  explicit DenseOperator(CMat s) : s_(std::move(s)) {}
+
+  [[nodiscard]] index_t rows() const noexcept override { return s_.rows(); }
+  [[nodiscard]] index_t cols() const noexcept override { return s_.cols(); }
+  [[nodiscard]] CVec apply(const CVec& x) const override;
+  [[nodiscard]] CVec apply_adjoint(const CVec& y) const override;
+  [[nodiscard]] CMat row_gram() const override;
+
+  [[nodiscard]] const CMat& matrix() const noexcept { return s_; }
+
+ private:
+  CMat s_;
+};
+
+/// Kronecker-structured operator S = right (x) left, where
+/// left is M x N_l (the AoA steering factor A_theta) and right is
+/// L x N_r (the ToA steering factor A_tau).
+///
+/// Index conventions match the paper's CSI stacking (Eq. 15/16):
+/// output index l * M + m (antenna-fastest), unknown index j * N_l + i
+/// (AoA-fastest), so column (i, j) equals right.col(j) (x) left.col(i).
+class KroneckerOperator final : public LinearOperator {
+ public:
+  KroneckerOperator(CMat left, CMat right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  [[nodiscard]] index_t rows() const noexcept override {
+    return left_.rows() * right_.rows();
+  }
+  [[nodiscard]] index_t cols() const noexcept override {
+    return left_.cols() * right_.cols();
+  }
+  [[nodiscard]] CVec apply(const CVec& x) const override;
+  [[nodiscard]] CVec apply_adjoint(const CVec& y) const override;
+
+  /// G = (right right^H) (x) (left left^H), formed from the two small
+  /// factor Grams — never touches the full column dimension.
+  [[nodiscard]] CMat row_gram() const override;
+
+  [[nodiscard]] const CMat& left() const noexcept { return left_; }
+  [[nodiscard]] const CMat& right() const noexcept { return right_; }
+
+  /// Materializes the dense matrix (tests / small problems only).
+  [[nodiscard]] CMat to_dense() const;
+
+ private:
+  CMat left_;   // M x N_l
+  CMat right_;  // L x N_r
+};
+
+}  // namespace roarray::sparse

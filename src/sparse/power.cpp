@@ -1,0 +1,33 @@
+#include "sparse/power.hpp"
+
+#include <cmath>
+
+namespace roarray::sparse {
+
+double operator_norm_sq(const LinearOperator& op, int iterations) {
+  const index_t n = op.cols();
+  if (n == 0 || op.rows() == 0) return 0.0;
+  // Deterministic pseudo-random start vector: avoids pathological
+  // alignment with an eigen-null direction without seeding a real RNG.
+  CVec v(n);
+  double seed = 0.5;
+  for (index_t i = 0; i < n; ++i) {
+    seed = std::fmod(seed * 997.0 + 1.0, 1.0) + 0.1;
+    v[i] = cxd{seed, 0.37 * seed + 0.01};
+  }
+  double nv = norm2(v);
+  v *= cxd{1.0 / nv, 0.0};
+
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    CVec w = op.apply_adjoint(op.apply(v));
+    const double nw = norm2(w);
+    if (nw <= 0.0) return 0.0;
+    lambda = nw;  // ||S^H S v|| -> lambda_max as v converges
+    w *= cxd{1.0 / nw, 0.0};
+    v = std::move(w);
+  }
+  return lambda;
+}
+
+}  // namespace roarray::sparse

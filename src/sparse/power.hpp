@@ -1,0 +1,16 @@
+// Power iteration for the operator norm ||S||_2^2 = lambda_max(S^H S),
+// the Lipschitz constant the proximal-gradient solvers step against.
+#pragma once
+
+#include "sparse/operator.hpp"
+
+namespace roarray::sparse {
+
+/// Estimates lambda_max(S^H S) by power iteration on S^H S with a
+/// deterministic starting vector. Accurate to ~1% in tens of iterations,
+/// which is plenty: FISTA only needs an upper bound within a small
+/// safety factor (applied by the caller).
+[[nodiscard]] double operator_norm_sq(const LinearOperator& op,
+                                      int iterations = 60);
+
+}  // namespace roarray::sparse

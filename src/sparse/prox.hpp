@@ -1,0 +1,59 @@
+// Proximal operators for l1 and group (l2,1) regularizers on complex data.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace roarray::sparse {
+
+using linalg::CMat;
+using linalg::CVec;
+using linalg::cxd;
+using linalg::index_t;
+
+/// Complex soft-thresholding: the proximal operator of t * ||.||_1 on
+/// C^n shrinks each element's magnitude by t, preserving its phase:
+/// prox(z) = z * max(0, 1 - t / |z|).
+inline void soft_threshold_inplace(CVec& x, double t) {
+  for (index_t i = 0; i < x.size(); ++i) {
+    const double mag = std::abs(x[i]);
+    if (mag <= t) {
+      x[i] = cxd{};
+    } else {
+      x[i] *= (1.0 - t / mag);
+    }
+  }
+}
+
+/// Row-group soft-thresholding: the proximal operator of
+/// t * sum_i ||X(i, :)||_2 (the l2,1 norm used by l1-SVD multi-snapshot
+/// recovery). Shrinks each row's l2 norm by t, preserving direction.
+inline void group_soft_threshold_rows_inplace(CMat& x, double t) {
+  for (index_t i = 0; i < x.rows(); ++i) {
+    double norm_sq = 0.0;
+    for (index_t j = 0; j < x.cols(); ++j) norm_sq += std::norm(x(i, j));
+    const double norm = std::sqrt(norm_sq);
+    if (norm <= t) {
+      for (index_t j = 0; j < x.cols(); ++j) x(i, j) = cxd{};
+    } else {
+      const double scale = 1.0 - t / norm;
+      for (index_t j = 0; j < x.cols(); ++j) x(i, j) *= scale;
+    }
+  }
+}
+
+/// Sum of row l2 norms (the l2,1 norm).
+[[nodiscard]] inline double norm_l21_rows(const CMat& x) {
+  double acc = 0.0;
+  for (index_t i = 0; i < x.rows(); ++i) {
+    double norm_sq = 0.0;
+    for (index_t j = 0; j < x.cols(); ++j) norm_sq += std::norm(x(i, j));
+    acc += std::sqrt(norm_sq);
+  }
+  return acc;
+}
+
+}  // namespace roarray::sparse

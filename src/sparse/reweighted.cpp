@@ -1,0 +1,75 @@
+#include "sparse/reweighted.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roarray::sparse {
+
+namespace {
+
+/// S scaled by a diagonal on the right: (S D) x = S (D x).
+class ColumnScaledOperator final : public LinearOperator {
+ public:
+  ColumnScaledOperator(const LinearOperator& base, const CVec& scale)
+      : base_(base), scale_(scale) {}
+
+  [[nodiscard]] index_t rows() const noexcept override { return base_.rows(); }
+  [[nodiscard]] index_t cols() const noexcept override { return base_.cols(); }
+
+  [[nodiscard]] CVec apply(const CVec& x) const override {
+    CVec scaled = x;
+    for (index_t i = 0; i < scaled.size(); ++i) scaled[i] *= scale_[i];
+    return base_.apply(scaled);
+  }
+
+  [[nodiscard]] CVec apply_adjoint(const CVec& y) const override {
+    CVec out = base_.apply_adjoint(y);
+    for (index_t i = 0; i < out.size(); ++i) out[i] *= std::conj(scale_[i]);
+    return out;
+  }
+
+ private:
+  const LinearOperator& base_;
+  const CVec& scale_;
+};
+
+}  // namespace
+
+ReweightedResult solve_reweighted_l1(const LinearOperator& op, const CVec& y,
+                                     const ReweightedConfig& cfg) {
+  if (cfg.rounds < 1) {
+    throw std::invalid_argument("solve_reweighted_l1: rounds < 1");
+  }
+  if (cfg.epsilon <= 0.0) {
+    throw std::invalid_argument("solve_reweighted_l1: epsilon must be positive");
+  }
+
+  ReweightedResult out;
+  // Round 1: plain l1.
+  SolveConfig inner = cfg.inner;
+  const SolveResult first = solve_l1(op, y, inner);
+  out.x = first.x;
+  out.total_inner_iterations = first.iterations;
+  out.kappa = first.kappa;
+  inner.kappa = first.kappa;  // keep the same regularization level
+
+  const index_t n = op.cols();
+  for (int round = 1; round < cfg.rounds; ++round) {
+    double max_mag = 0.0;
+    for (index_t i = 0; i < n; ++i) max_mag = std::max(max_mag, std::abs(out.x[i]));
+    if (max_mag <= 0.0) break;  // all-zero solution: nothing to reweight
+    const double eps = cfg.epsilon * max_mag;
+    // d_i = |x_i| + eps (the inverse weight): large coefficients get
+    // penalized less in the scaled problem.
+    CVec d(n);
+    for (index_t i = 0; i < n; ++i) d[i] = cxd{std::abs(out.x[i]) + eps, 0.0};
+
+    const ColumnScaledOperator scaled(op, d);
+    const SolveResult r = solve_l1(scaled, y, inner);
+    out.total_inner_iterations += r.iterations;
+    for (index_t i = 0; i < n; ++i) out.x[i] = r.x[i] * d[i];
+  }
+  return out;
+}
+
+}  // namespace roarray::sparse

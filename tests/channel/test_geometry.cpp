@@ -1,0 +1,86 @@
+#include "channel/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roarray::channel {
+namespace {
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  const Vec2 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 4.0);
+  EXPECT_DOUBLE_EQ(s.y, 1.0);
+  const Vec2 d = a - b;
+  EXPECT_DOUBLE_EQ(d.x, -2.0);
+  const Vec2 m = a * 2.0;
+  EXPECT_DOUBLE_EQ(m.y, 4.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(Vec2, NormalizedZeroThrows) {
+  EXPECT_THROW((Vec2{0.0, 0.0}).normalized(), std::domain_error);
+  const Vec2 u = Vec2{0.0, 5.0}.normalized();
+  EXPECT_DOUBLE_EQ(u.y, 1.0);
+}
+
+TEST(Room, ContainsChecksBounds) {
+  const Room r{18.0, 12.0};
+  EXPECT_TRUE(r.contains({9.0, 6.0}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_FALSE(r.contains({-0.1, 6.0}));
+  EXPECT_FALSE(r.contains({9.0, 12.1}));
+}
+
+TEST(Room, ValidateRejectsDegenerate) {
+  EXPECT_THROW((Room{0.0, 5.0}).validate(), std::invalid_argument);
+  EXPECT_THROW((Room{5.0, -1.0}).validate(), std::invalid_argument);
+}
+
+TEST(ApPose, AxisUnitFollowsAngle) {
+  const ApPose horizontal{{0.0, 0.0}, 0.0};
+  EXPECT_NEAR(horizontal.axis_unit().x, 1.0, 1e-12);
+  const ApPose vertical{{0.0, 0.0}, 90.0};
+  EXPECT_NEAR(vertical.axis_unit().y, 1.0, 1e-12);
+}
+
+TEST(ApPose, AoaOfPointBasicAngles) {
+  // Horizontal array at origin: a target on +x is endfire (0 deg),
+  // a target on +y is broadside (90 deg), a target on -x is 180 deg.
+  const ApPose ap{{0.0, 0.0}, 0.0};
+  EXPECT_NEAR(ap.aoa_of_point({5.0, 0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(ap.aoa_of_point({0.0, 5.0}), 90.0, 1e-9);
+  EXPECT_NEAR(ap.aoa_of_point({-5.0, 0.0}), 180.0, 1e-9);
+  EXPECT_NEAR(ap.aoa_of_point({5.0, 5.0}), 45.0, 1e-9);
+}
+
+TEST(ApPose, AoaIsMirrorSymmetricAboutAxis) {
+  // A ULA cannot distinguish a source above the axis from one below.
+  const ApPose ap{{0.0, 0.0}, 0.0};
+  EXPECT_NEAR(ap.aoa_of_point({3.0, 2.0}), ap.aoa_of_point({3.0, -2.0}), 1e-9);
+}
+
+TEST(ApPose, RotatedArrayShiftsReference) {
+  const ApPose ap{{2.0, 2.0}, 90.0};  // axis along +y
+  EXPECT_NEAR(ap.aoa_of_point({2.0, 8.0}), 0.0, 1e-9);   // along axis
+  EXPECT_NEAR(ap.aoa_of_point({8.0, 2.0}), 90.0, 1e-9);  // broadside
+}
+
+TEST(ApPose, AoaRangeAlwaysValid) {
+  const ApPose ap{{9.0, 6.0}, 37.0};
+  for (double x = 0.5; x < 18.0; x += 2.5) {
+    for (double y = 0.5; y < 12.0; y += 2.5) {
+      if (distance({x, y}, ap.position) < 1e-9) continue;
+      const double aoa = ap.aoa_of_point({x, y});
+      EXPECT_GE(aoa, 0.0);
+      EXPECT_LE(aoa, 180.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace roarray::channel

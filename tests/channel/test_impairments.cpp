@@ -1,0 +1,182 @@
+// Impairment-physics tests: antenna gains, polarization deviation,
+// path-phase jitter — each must produce its documented physical effect.
+#include <gtest/gtest.h>
+
+#include "channel/csi.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::channel {
+namespace {
+
+namespace rt = roarray::testing;
+using linalg::CMat;
+using linalg::cxd;
+using linalg::index_t;
+
+const dsp::ArrayConfig kArray;
+
+std::vector<Path> one_path() {
+  Path p;
+  p.aoa_deg = 100.0;
+  p.toa_s = 80e-9;
+  p.gain = cxd{1.0, 0.0};
+  return {p};
+}
+
+TEST(Impairments, AntennaGainsScaleRows) {
+  CsiImpairments imp;
+  imp.antenna_gains = {cxd{2.0, 0.0}, cxd{1.0, 0.0}, cxd{0.0, 0.5}};
+  const CMat with = synthesize_csi(one_path(), kArray, imp);
+  const CMat clean = synthesize_csi(one_path(), kArray);
+  for (index_t s = 0; s < kArray.num_subcarriers; ++s) {
+    EXPECT_NEAR(std::abs(with(0, s)), 2.0 * std::abs(clean(0, s)), 1e-12);
+    EXPECT_NEAR(std::abs(with(2, s)), 0.5 * std::abs(clean(2, s)), 1e-12);
+  }
+}
+
+TEST(Impairments, WrongGainCountThrows) {
+  CsiImpairments imp;
+  imp.antenna_gains = {cxd{1.0, 0.0}};
+  EXPECT_THROW(synthesize_csi(one_path(), kArray, imp), std::invalid_argument);
+}
+
+TEST(Impairments, PolarizationDeviationLowersRealizedSnr) {
+  // With deviation, signal power drops ~cos^2 while noise stays fixed:
+  // the realized SNR of the burst must be lower.
+  auto measure_noise_ratio = [&](double dev_rad) {
+    auto rng = rt::make_rng(931);
+    BurstConfig cfg;
+    cfg.num_packets = 20;
+    cfg.snr_db = 15.0;
+    cfg.max_detection_delay_s = 0.0;
+    cfg.polarization_deviation_rad = dev_rad;
+    const PacketBurst b = generate_burst(one_path(), kArray, cfg, rng);
+    // Signal power of the realized (attenuated) mean CSI vs noise sigma.
+    double sig = 0.0;
+    for (const auto& csi : b.csi) sig += mean_power(csi);
+    return (sig / static_cast<double>(b.csi.size())) /
+           (b.noise_sigma * b.noise_sigma);
+  };
+  const double clean = measure_noise_ratio(0.0);
+  const double tilted = measure_noise_ratio(dsp::deg_to_rad(45.0));
+  EXPECT_GT(clean, 1.8 * tilted);
+}
+
+TEST(Impairments, PolarizationDeviationDistortsManifold) {
+  // Per-antenna ratios across a burst must deviate from the clean
+  // steering ratios when the client antenna is tilted.
+  auto rng = rt::make_rng(932);
+  BurstConfig cfg;
+  cfg.num_packets = 1;
+  cfg.snr_db = 60.0;  // effectively noiseless
+  cfg.max_detection_delay_s = 0.0;
+  cfg.polarization_deviation_rad = dsp::deg_to_rad(40.0);
+  const PacketBurst tilted = generate_burst(one_path(), kArray, cfg, rng);
+  const CMat clean = synthesize_csi(one_path(), kArray);
+  double max_ratio_dev = 0.0;
+  for (index_t s = 0; s < kArray.num_subcarriers; ++s) {
+    for (index_t a = 1; a < kArray.num_antennas; ++a) {
+      const cxd r_clean = clean(a, s) / clean(0, s);
+      const cxd r_tilt = tilted.csi[0](a, s) / tilted.csi[0](0, s);
+      max_ratio_dev = std::max(max_ratio_dev, std::abs(r_clean - r_tilt));
+    }
+  }
+  EXPECT_GT(max_ratio_dev, 0.05);
+}
+
+TEST(Impairments, ZeroDeviationLeavesBurstClean) {
+  auto rng1 = rt::make_rng(933);
+  auto rng2 = rt::make_rng(933);
+  BurstConfig with;
+  with.polarization_deviation_rad = 0.0;
+  BurstConfig without;
+  const PacketBurst a = generate_burst(one_path(), kArray, with, rng1);
+  const PacketBurst b = generate_burst(one_path(), kArray, without, rng2);
+  rt::expect_mat_near(a.csi[0], b.csi[0], 0.0, "zero deviation is a no-op");
+}
+
+TEST(Impairments, PhaseJitterDecorrelatesPackets) {
+  // Cross-packet correlation of the stacked CSI drops when jitter grows.
+  auto correlation_at = [&](double jitter) {
+    Path p1;
+    p1.aoa_deg = 100.0;
+    p1.toa_s = 80e-9;
+    p1.gain = cxd{1.0, 0.0};
+    Path p2;
+    p2.aoa_deg = 40.0;
+    p2.toa_s = 250e-9;
+    p2.gain = cxd{0.8, 0.3};
+    auto rng = rt::make_rng(934);
+    BurstConfig cfg;
+    cfg.num_packets = 2;
+    cfg.snr_db = 60.0;
+    cfg.max_detection_delay_s = 0.0;
+    cfg.path_phase_jitter_rad = jitter;
+    const PacketBurst b = generate_burst({p1, p2}, kArray, cfg, rng);
+    cxd acc{};
+    double n1 = 0.0, n2 = 0.0;
+    for (index_t s = 0; s < kArray.num_subcarriers; ++s) {
+      for (index_t a = 0; a < kArray.num_antennas; ++a) {
+        acc += std::conj(b.csi[0](a, s)) * b.csi[1](a, s);
+        n1 += std::norm(b.csi[0](a, s));
+        n2 += std::norm(b.csi[1](a, s));
+      }
+    }
+    return std::abs(acc) / std::sqrt(n1 * n2);
+  };
+  EXPECT_NEAR(correlation_at(0.0), 1.0, 1e-4);  // 60 dB still adds tiny noise
+  EXPECT_LT(correlation_at(1.5), 0.995);
+}
+
+TEST(Impairments, CombinedImpairmentsCompose) {
+  // All impairments at once must not throw and must keep finite values.
+  auto rng = rt::make_rng(935);
+  BurstConfig cfg;
+  cfg.num_packets = 4;
+  cfg.snr_db = 5.0;
+  cfg.max_detection_delay_s = 150e-9;
+  cfg.antenna_phase_offsets_rad = {0.0, 1.0, 2.0};
+  cfg.antenna_gains = {cxd{1.1, 0.0}, cxd{0.9, 0.0}, cxd{1.0, 0.05}};
+  cfg.polarization_scale = 0.8;
+  cfg.polarization_deviation_rad = 0.3;
+  cfg.path_phase_jitter_rad = 0.4;
+  const PacketBurst b = generate_burst(one_path(), kArray, cfg, rng);
+  for (const auto& csi : b.csi) {
+    for (index_t s = 0; s < csi.cols(); ++s) {
+      for (index_t a = 0; a < csi.rows(); ++a) {
+        EXPECT_TRUE(std::isfinite(csi(a, s).real()));
+        EXPECT_TRUE(std::isfinite(csi(a, s).imag()));
+      }
+    }
+  }
+}
+
+TEST(Impairments, ScattererPathsHaveCorrectGeometry) {
+  const Room room{18.0, 12.0};
+  const ApPose ap{{1.0, 6.0}, 90.0};
+  const Vec2 client{9.0, 6.0};
+  const Vec2 scatterer{5.0, 9.0};
+  MultipathConfig cfg;
+  cfg.max_reflections = 0;  // direct + scatterer only
+  const std::vector<Vec2> scatterers = {scatterer};
+  const auto paths = trace_paths(room, ap, client, cfg, kArray, scatterers);
+  ASSERT_EQ(paths.size(), 2u);
+  const Path& sc = paths.back();
+  const double expect_len = distance(client, scatterer) + distance(scatterer, ap.position);
+  EXPECT_NEAR(sc.length_m, expect_len, 1e-9);
+  EXPECT_NEAR(sc.aoa_deg, ap.aoa_of_direction(scatterer - ap.position), 1e-9);
+  EXPECT_EQ(sc.reflections, 1);
+  EXPECT_GT(sc.toa_s, paths.front().toa_s);
+}
+
+TEST(Impairments, ScattererOutsideRoomThrows) {
+  const Room room{18.0, 12.0};
+  const ApPose ap{{1.0, 6.0}, 90.0};
+  const std::vector<Vec2> bad = {{30.0, 5.0}};
+  EXPECT_THROW(
+      trace_paths(room, ap, {9.0, 6.0}, MultipathConfig{}, kArray, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roarray::channel

@@ -1,0 +1,227 @@
+#include "core/roarray.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/csi.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::core {
+namespace {
+
+namespace rt = roarray::testing;
+using channel::Path;
+using linalg::cxd;
+
+const dsp::ArrayConfig kArray;
+
+Path make_path(double aoa, double toa, cxd gain) {
+  Path p;
+  p.aoa_deg = aoa;
+  p.toa_s = toa;
+  p.gain = gain;
+  return p;
+}
+
+std::vector<linalg::CMat> noisy_packets(const std::vector<Path>& paths,
+                                        double snr_db, linalg::index_t n,
+                                        std::uint64_t seed,
+                                        double max_delay = 100e-9) {
+  auto rng = rt::make_rng(seed);
+  channel::BurstConfig bc;
+  bc.num_packets = n;
+  bc.snr_db = snr_db;
+  bc.max_detection_delay_s = max_delay;
+  return channel::generate_burst(paths, kArray, bc, rng).csi;
+}
+
+TEST(StackCsi, OrderingMatchesEq15) {
+  linalg::CMat csi(3, 30);
+  csi(2, 0) = cxd{1.0, 0.0};   // antenna 3, subcarrier 1
+  csi(0, 29) = cxd{2.0, 0.0};  // antenna 1, subcarrier 30
+  const linalg::CVec y = stack_csi(csi);
+  ASSERT_EQ(y.size(), 90);
+  EXPECT_EQ(y[2], (cxd{1.0, 0.0}));
+  EXPECT_EQ(y[29 * 3 + 0], (cxd{2.0, 0.0}));
+}
+
+TEST(CoefficientsToSpectrum, ReshapeAndNormalization) {
+  const dsp::Grid aoa(0.0, 180.0, 4);
+  const dsp::Grid toa(0.0, 700e-9, 3);
+  linalg::CVec c(12);
+  c[2 * 4 + 1] = cxd{0.0, 2.0};  // (aoa index 1, toa index 2), magnitude 2
+  c[0] = cxd{1.0, 0.0};
+  const auto spec = coefficients_to_spectrum(c, aoa, toa);
+  EXPECT_DOUBLE_EQ(spec.values(1, 2), 1.0);  // normalized peak
+  EXPECT_DOUBLE_EQ(spec.values(0, 0), 0.5);
+  EXPECT_THROW(coefficients_to_spectrum(linalg::CVec(11), aoa, toa),
+               std::invalid_argument);
+}
+
+TEST(RoArray, SinglePacketSinglePathHighSnr) {
+  const auto packets =
+      noisy_packets({make_path(110.0, 50e-9, cxd{1.0, 0.0})}, 25.0, 1, 301);
+  RoArrayConfig cfg;
+  const RoArrayResult r = roarray_estimate(packets, cfg, kArray);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.direct.aoa_deg, 110.0, 5.0);
+}
+
+TEST(RoArray, DirectPathIsSmallestToaAmongPaths) {
+  const std::vector<Path> paths = {
+      make_path(120.0, 60e-9, cxd{1.0, 0.0}),
+      make_path(55.0, 240e-9, cxd{0.5, 0.3}),
+  };
+  const auto packets = noisy_packets(paths, 25.0, 1, 302);
+  RoArrayConfig cfg;
+  const RoArrayResult r = roarray_estimate(packets, cfg, kArray);
+  ASSERT_TRUE(r.valid);
+  ASSERT_GE(r.paths.size(), 2u);
+  EXPECT_NEAR(r.direct.aoa_deg, 120.0, 5.0);
+  for (const PathEstimate& p : r.paths) {
+    EXPECT_GE(p.toa_s, r.direct.toa_s);
+  }
+}
+
+TEST(RoArray, ResolvesMorePathsThanAntennas) {
+  // 4 paths > M = 3 antennas: only possible thanks to the subcarrier
+  // aperture expansion (paper Section III-B).
+  const std::vector<Path> paths = {
+      make_path(40.0, 50e-9, cxd{1.0, 0.0}),
+      make_path(80.0, 180e-9, cxd{0.8, 0.2}),
+      make_path(120.0, 320e-9, cxd{0.7, -0.3}),
+      make_path(160.0, 470e-9, cxd{0.6, 0.1}),
+  };
+  const auto packets = noisy_packets(paths, 30.0, 1, 303, 0.0);
+  RoArrayConfig cfg;
+  cfg.sanitize = false;  // keep absolute ToAs
+  cfg.solver.max_iterations = 800;
+  const RoArrayResult r = roarray_estimate(packets, cfg, kArray);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GE(r.paths.size(), 4u);
+  // Each true path matched by some estimate within grid resolution.
+  for (const Path& truth : paths) {
+    double best = 1e9;
+    for (const PathEstimate& est : r.paths) {
+      best = std::min(best, std::abs(est.aoa_deg - truth.aoa_deg));
+    }
+    EXPECT_LT(best, 6.0) << "path at " << truth.aoa_deg;
+  }
+}
+
+TEST(RoArray, InsensitiveToModelOrder) {
+  // No K anywhere in the configuration: the same config handles 1 and 4
+  // paths. (Contrast with MUSIC baselines that need K.)
+  RoArrayConfig cfg;
+  const auto one = noisy_packets({make_path(90.0, 60e-9, cxd{1.0, 0.0})}, 22.0,
+                                 1, 304);
+  const RoArrayResult r1 = roarray_estimate(one, cfg, kArray);
+  ASSERT_TRUE(r1.valid);
+  EXPECT_NEAR(r1.direct.aoa_deg, 90.0, 5.0);
+
+  const std::vector<Path> four = {
+      make_path(60.0, 55e-9, cxd{1.0, 0.0}),
+      make_path(100.0, 200e-9, cxd{0.6, 0.1}),
+      make_path(140.0, 350e-9, cxd{0.5, -0.2}),
+      make_path(30.0, 500e-9, cxd{0.4, 0.3}),
+  };
+  const RoArrayResult r4 =
+      roarray_estimate(noisy_packets(four, 22.0, 1, 305), cfg, kArray);
+  ASSERT_TRUE(r4.valid);
+  EXPECT_NEAR(r4.direct.aoa_deg, 60.0, 6.0);
+}
+
+TEST(RoArray, SanitizePlacesDirectNearRebias) {
+  const auto packets =
+      noisy_packets({make_path(75.0, 40e-9, cxd{1.0, 0.0})}, 25.0, 1, 306);
+  RoArrayConfig cfg;  // sanitize on, rebias 100 ns
+  const RoArrayResult r = roarray_estimate(packets, cfg, kArray);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.direct.toa_s, 100e-9, 60e-9);
+}
+
+TEST(RoArray, WithoutSanitizeToaIncludesDetectionDelay) {
+  // One packet with a 200 ns detection delay: estimated ToA shifts.
+  channel::CsiImpairments imp;
+  imp.detection_delay_s = 200e-9;
+  const linalg::CMat csi = channel::synthesize_csi(
+      {make_path(100.0, 60e-9, cxd{1.0, 0.0})}, kArray, imp);
+  RoArrayConfig cfg;
+  cfg.sanitize = false;
+  const std::vector<linalg::CMat> packets = {csi};
+  const RoArrayResult r = roarray_estimate(packets, cfg, kArray);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.direct.toa_s, 260e-9, 40e-9);
+}
+
+TEST(RoArray, IterationCallbackTracksProgress) {
+  const auto packets =
+      noisy_packets({make_path(130.0, 70e-9, cxd{1.0, 0.0})}, 20.0, 1, 307);
+  RoArrayConfig cfg;
+  cfg.solver.max_iterations = 25;
+  cfg.solver.tolerance = 0.0;
+  int calls = 0;
+  const RoArrayResult r = roarray_estimate(
+      packets, cfg, kArray, [&](int, const linalg::CVec&) { ++calls; });
+  EXPECT_EQ(calls, 25);
+  EXPECT_EQ(r.solver_iterations, 25);
+}
+
+TEST(RoArray, EmptyAndMalformedInputsThrow) {
+  RoArrayConfig cfg;
+  EXPECT_THROW(roarray_estimate({}, cfg, kArray), std::invalid_argument);
+  const std::vector<linalg::CMat> bad = {linalg::CMat(2, 30)};
+  EXPECT_THROW(roarray_estimate(bad, cfg, kArray), std::invalid_argument);
+}
+
+TEST(RoArrayAoaSpectrum, PeaksAtTrueAngle) {
+  auto rng = rt::make_rng(308);
+  linalg::CMat csi = channel::synthesize_csi(
+      {make_path(65.0, 90e-9, cxd{1.0, 0.0})}, kArray);
+  channel::add_noise(csi, 20.0, rng);
+  const auto spec =
+      roarray_aoa_spectrum(csi, dsp::Grid(0.0, 180.0, 91), kArray);
+  const auto peaks = spec.find_peaks(1);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks[0].aoa_deg, 65.0, 4.0);
+}
+
+TEST(RoArrayAoaSpectrum, SparseSpectrumIsSharp) {
+  // Most grid weights must be (near) zero — the defining property of the
+  // sparse formulation vs the smooth MUSIC pseudo-spectrum.
+  auto rng = rt::make_rng(309);
+  linalg::CMat csi = channel::synthesize_csi(
+      {make_path(125.0, 90e-9, cxd{1.0, 0.0})}, kArray);
+  channel::add_noise(csi, 15.0, rng);
+  const auto spec =
+      roarray_aoa_spectrum(csi, dsp::Grid(0.0, 180.0, 91), kArray);
+  linalg::index_t near_zero = 0;
+  for (linalg::index_t i = 0; i < spec.values.size(); ++i) {
+    if (spec.values[i] < 0.02) ++near_zero;
+  }
+  EXPECT_GT(near_zero, 70);  // > ~77% of the 91 grid points empty
+}
+
+class RoArraySnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoArraySnrSweep, DirectAoaAcrossSnr) {
+  const double snr = GetParam();
+  const std::vector<Path> paths = {
+      make_path(115.0, 55e-9, cxd{1.0, 0.0}),
+      make_path(60.0, 230e-9, cxd{0.45, 0.2}),
+  };
+  const auto packets = noisy_packets(
+      paths, snr, 5, static_cast<std::uint64_t>(400 + snr * 3));
+  RoArrayConfig cfg;
+  const RoArrayResult r = roarray_estimate(packets, cfg, kArray);
+  ASSERT_TRUE(r.valid);
+  // Tolerance widens as SNR falls but stays bounded — the robustness
+  // claim under test.
+  const double tol = snr >= 15.0 ? 6.0 : (snr >= 5.0 ? 8.0 : 14.0);
+  EXPECT_NEAR(r.direct.aoa_deg, 115.0, tol) << "snr " << snr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Snr, RoArraySnrSweep,
+                         ::testing::Values(25.0, 15.0, 8.0, 2.0, 0.0));
+
+}  // namespace
+}  // namespace roarray::core

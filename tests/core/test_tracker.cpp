@@ -1,0 +1,112 @@
+#include "core/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/csi.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::core {
+namespace {
+
+namespace rt = roarray::testing;
+using channel::Path;
+using linalg::cxd;
+
+const dsp::ArrayConfig kArray;
+
+channel::PacketBurst make_burst(linalg::index_t n, std::uint64_t seed,
+                                double aoa = 105.0) {
+  Path direct;
+  direct.aoa_deg = aoa;
+  direct.toa_s = 60e-9;
+  direct.gain = cxd{1.0, 0.0};
+  auto rng = rt::make_rng(seed);
+  channel::BurstConfig bc;
+  bc.num_packets = n;
+  bc.snr_db = 18.0;
+  return channel::generate_burst({direct}, kArray, bc, rng);
+}
+
+TrackerConfig tracker_config(linalg::index_t window = 15) {
+  TrackerConfig cfg;
+  cfg.array = kArray;
+  cfg.window_packets = window;
+  cfg.estimator.solver.max_iterations = 200;
+  return cfg;
+}
+
+TEST(Tracker, EmptyTrackerHasNoEstimate) {
+  RoArrayTracker t(tracker_config());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_FALSE(t.estimate().has_value());
+}
+
+TEST(Tracker, InvalidConfigThrows) {
+  TrackerConfig cfg = tracker_config(0);
+  EXPECT_THROW(RoArrayTracker{cfg}, std::invalid_argument);
+}
+
+TEST(Tracker, ShapeMismatchThrows) {
+  RoArrayTracker t(tracker_config());
+  EXPECT_THROW(t.push(linalg::CMat(2, 30)), std::invalid_argument);
+}
+
+TEST(Tracker, SinglePacketEstimate) {
+  RoArrayTracker t(tracker_config());
+  const auto burst = make_burst(1, 1001);
+  t.push(burst.csi[0]);
+  const auto r = t.estimate();
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->valid);
+  EXPECT_NEAR(r->direct.aoa_deg, 105.0, 5.0);
+}
+
+TEST(Tracker, WindowEvictsOldestPackets) {
+  RoArrayTracker t(tracker_config(3));
+  const auto burst = make_burst(6, 1002);
+  for (const auto& csi : burst.csi) t.push(csi);
+  EXPECT_EQ(t.size(), 3);
+}
+
+TEST(Tracker, EstimateIsCachedUntilNewPacket) {
+  RoArrayTracker t(tracker_config());
+  const auto burst = make_burst(4, 1003);
+  for (const auto& csi : burst.csi) t.push(csi);
+  const auto first = t.estimate();
+  const auto second = t.estimate();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(first->direct.aoa_deg, second->direct.aoa_deg);
+  // New packet invalidates the cache (no crash, fresh estimate).
+  t.push(burst.csi[0]);
+  EXPECT_TRUE(t.estimate().has_value());
+}
+
+TEST(Tracker, ResetClearsEverything) {
+  RoArrayTracker t(tracker_config());
+  const auto burst = make_burst(3, 1004);
+  for (const auto& csi : burst.csi) t.push(csi);
+  t.reset();
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_FALSE(t.estimate().has_value());
+}
+
+TEST(Tracker, TracksMovingSource) {
+  // Push packets from angle A, then slide the window over to angle B:
+  // the estimate follows.
+  RoArrayTracker t(tracker_config(5));
+  const auto a = make_burst(5, 1005, 60.0);
+  for (const auto& csi : a.csi) t.push(csi);
+  const auto ra = t.estimate();
+  ASSERT_TRUE(ra.has_value());
+  EXPECT_NEAR(ra->direct.aoa_deg, 60.0, 6.0);
+
+  const auto b = make_burst(5, 1006, 130.0);
+  for (const auto& csi : b.csi) t.push(csi);  // fully replaces the window
+  const auto rb = t.estimate();
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_NEAR(rb->direct.aoa_deg, 130.0, 6.0);
+}
+
+}  // namespace
+}  // namespace roarray::core

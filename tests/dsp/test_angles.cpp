@@ -1,0 +1,59 @@
+#include "dsp/angles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roarray::dsp {
+namespace {
+
+TEST(Angles, DegRadRoundTrip) {
+  for (double d : {-270.0, -90.0, 0.0, 45.0, 180.0, 359.0}) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(d)), d, 1e-12);
+  }
+}
+
+TEST(Angles, Wrap360) {
+  EXPECT_DOUBLE_EQ(wrap_deg_360(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_360(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_360(-30.0), 330.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_360(725.0), 5.0);
+}
+
+TEST(Angles, Wrap180) {
+  EXPECT_DOUBLE_EQ(wrap_deg_180(180.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_180(181.0), -179.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_180(-181.0), 179.0);
+}
+
+TEST(Angles, AngleDiffSymmetricAndBounded) {
+  EXPECT_DOUBLE_EQ(angle_diff_deg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(angle_diff_deg(350.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(angle_diff_deg(0.0, 180.0), 180.0);
+  EXPECT_DOUBLE_EQ(angle_diff_deg(90.0, 90.0), 0.0);
+}
+
+TEST(Angles, FoldToUlaRange) {
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(45.0), 45.0);
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(180.0), 180.0);
+  // Mirror symmetry across the array axis: 200 deg looks like 160 deg.
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(200.0), 160.0);
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(-45.0), 45.0);
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(359.0), 1.0);
+}
+
+class AngleDiffProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AngleDiffProperty, InvariantUnderFullTurns) {
+  const double a = GetParam();
+  const double b = 77.0;
+  EXPECT_NEAR(angle_diff_deg(a, b), angle_diff_deg(a + 360.0, b), 1e-10);
+  EXPECT_NEAR(angle_diff_deg(a, b), angle_diff_deg(a, b - 720.0), 1e-10);
+  EXPECT_LE(angle_diff_deg(a, b), 180.0);
+  EXPECT_GE(angle_diff_deg(a, b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AngleDiffProperty,
+                         ::testing::Values(-350.0, -180.0, -10.0, 0.0, 33.3,
+                                           90.0, 179.0, 270.0, 359.9));
+
+}  // namespace
+}  // namespace roarray::dsp

@@ -1,0 +1,132 @@
+#include "dsp/sanitize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/csi.hpp"
+#include "channel/multipath.hpp"
+#include "dsp/steering.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::dsp {
+namespace {
+
+using channel::CsiImpairments;
+using channel::Path;
+using linalg::CMat;
+using linalg::cxd;
+using linalg::index_t;
+
+std::vector<Path> two_paths() {
+  Path direct;
+  direct.aoa_deg = 150.0;
+  direct.toa_s = 40e-9;
+  direct.gain = cxd{1.0, 0.0};
+  Path reflected;
+  reflected.aoa_deg = 60.0;
+  reflected.toa_s = 90e-9;
+  reflected.gain = cxd{0.4, 0.3};
+  return {direct, reflected};
+}
+
+TEST(Sanitize, RemovesDetectionDelayDifferenceBetweenPackets) {
+  const ArrayConfig cfg;
+  const auto paths = two_paths();
+  CsiImpairments a;
+  a.detection_delay_s = 30e-9;
+  CsiImpairments b;
+  b.detection_delay_s = 170e-9;
+  const CMat csi_a = channel::synthesize_csi(paths, cfg, a);
+  const CMat csi_b = channel::synthesize_csi(paths, cfg, b);
+
+  const auto sa = sanitize_csi(csi_a, cfg);
+  const auto sb = sanitize_csi(csi_b, cfg);
+  // After sanitization both packets must agree (same channel, delays gone).
+  roarray::testing::expect_mat_near(sa.csi, sb.csi, 1e-6,
+                                    "sanitized packets identical");
+}
+
+TEST(Sanitize, RemovedDelayTracksInjectedDelay) {
+  const ArrayConfig cfg;
+  const auto paths = two_paths();
+  CsiImpairments imp_a;
+  imp_a.detection_delay_s = 50e-9;
+  CsiImpairments imp_b;
+  imp_b.detection_delay_s = 250e-9;
+  const auto ra = sanitize_csi(channel::synthesize_csi(paths, cfg, imp_a), cfg);
+  const auto rb = sanitize_csi(channel::synthesize_csi(paths, cfg, imp_b), cfg);
+  // The difference in removed delay equals the injected difference.
+  EXPECT_NEAR(rb.removed_delay_s - ra.removed_delay_s, 200e-9, 2e-9);
+}
+
+TEST(Sanitize, PreservesAntennaPhaseRelationships) {
+  // AoA information lives in the per-antenna phase differences within a
+  // subcarrier; sanitization must not distort them.
+  const ArrayConfig cfg;
+  const auto paths = two_paths();
+  CsiImpairments imp;
+  imp.detection_delay_s = 120e-9;
+  const CMat raw = channel::synthesize_csi(paths, cfg, imp);
+  const CMat clean = sanitize_csi(raw, cfg).csi;
+  for (index_t s = 0; s < cfg.num_subcarriers; ++s) {
+    for (index_t a = 1; a < cfg.num_antennas; ++a) {
+      const cxd ratio_raw = raw(a, s) / raw(0, s);
+      const cxd ratio_clean = clean(a, s) / clean(0, s);
+      EXPECT_NEAR(std::abs(ratio_raw - ratio_clean), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Sanitize, RebiasKeepsDirectToaNearBias) {
+  // Single LoS path: after sanitization the fitted delay of the packet
+  // equals the rebias value (the path sits at the bias ToA).
+  const ArrayConfig cfg;
+  std::vector<Path> paths;
+  Path direct;
+  direct.aoa_deg = 120.0;
+  direct.toa_s = 33e-9;
+  direct.gain = cxd{1.0, 0.0};
+  paths.push_back(direct);
+  CsiImpairments imp;
+  imp.detection_delay_s = 300e-9;
+  const double bias = 100e-9;
+  const CMat clean =
+      sanitize_csi(channel::synthesize_csi(paths, cfg, imp), cfg, bias).csi;
+  // The remaining linear phase corresponds to a delay == bias.
+  const auto again = sanitize_csi(clean, cfg, 0.0);
+  EXPECT_NEAR(again.removed_delay_s, bias, 3e-9);
+}
+
+TEST(Sanitize, IdempotentOnceSanitized) {
+  const ArrayConfig cfg;
+  const auto paths = two_paths();
+  CsiImpairments imp;
+  imp.detection_delay_s = 77e-9;
+  const CMat once =
+      sanitize_csi(channel::synthesize_csi(paths, cfg, imp), cfg).csi;
+  const CMat twice = sanitize_csi(once, cfg).csi;
+  roarray::testing::expect_mat_near(once, twice, 1e-8, "idempotent");
+}
+
+class SanitizeDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SanitizeDelaySweep, PacketsAlignAcrossDelays) {
+  const ArrayConfig cfg;
+  const auto paths = two_paths();
+  CsiImpairments ref;
+  ref.detection_delay_s = 0.0;
+  const CMat base = sanitize_csi(channel::synthesize_csi(paths, cfg, ref), cfg).csi;
+  CsiImpairments imp;
+  imp.detection_delay_s = GetParam();
+  const CMat other =
+      sanitize_csi(channel::synthesize_csi(paths, cfg, imp), cfg).csi;
+  roarray::testing::expect_mat_near(base, other, 1e-6, "delay sweep");
+}
+
+// Delays are bounded so the mean total delay (detection delay + path
+// ToAs) stays under the 1/(2 f_delta) = 400 ns linear-fit aliasing limit.
+INSTANTIATE_TEST_SUITE_P(Delays, SanitizeDelaySweep,
+                         ::testing::Values(10e-9, 60e-9, 130e-9, 220e-9,
+                                           300e-9));
+
+}  // namespace
+}  // namespace roarray::dsp

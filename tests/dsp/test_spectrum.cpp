@@ -1,0 +1,131 @@
+#include "dsp/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roarray::dsp {
+namespace {
+
+using linalg::index_t;
+using linalg::RMat;
+using linalg::RVec;
+
+Spectrum1d make_1d(std::initializer_list<double> vals) {
+  Spectrum1d s;
+  s.grid = Grid(0.0, static_cast<double>(vals.size() - 1),
+                static_cast<index_t>(vals.size()));
+  s.values = RVec(static_cast<index_t>(vals.size()));
+  index_t i = 0;
+  for (double v : vals) s.values[i++] = v;
+  return s;
+}
+
+TEST(Spectrum1d, NormalizeScalesPeakToOne) {
+  Spectrum1d s = make_1d({1.0, 4.0, 2.0});
+  s.normalize();
+  EXPECT_DOUBLE_EQ(s.values[1], 1.0);
+  EXPECT_DOUBLE_EQ(s.values[0], 0.25);
+}
+
+TEST(Spectrum1d, NormalizeNoOpOnZeroSpectrum) {
+  Spectrum1d s = make_1d({0.0, 0.0});
+  s.normalize();
+  EXPECT_DOUBLE_EQ(s.values[0], 0.0);
+}
+
+TEST(Spectrum1d, FindsInteriorPeaks) {
+  const Spectrum1d s = make_1d({0.1, 0.9, 0.2, 0.5, 1.0, 0.3});
+  const auto peaks = s.find_peaks(5, 0.05, 1);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].value, 1.0);  // strongest first
+  EXPECT_EQ(peaks[0].aoa_index, 4);
+  EXPECT_EQ(peaks[1].aoa_index, 1);
+}
+
+TEST(Spectrum1d, EndpointsCanBePeaks) {
+  const Spectrum1d s = make_1d({1.0, 0.2, 0.1, 0.8});
+  const auto peaks = s.find_peaks(5);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].aoa_index, 0);
+  EXPECT_EQ(peaks[1].aoa_index, 3);
+}
+
+TEST(Spectrum1d, MaxPeaksRespected) {
+  const Spectrum1d s = make_1d({1.0, 0.1, 0.9, 0.1, 0.8, 0.1, 0.7});
+  EXPECT_EQ(s.find_peaks(2).size(), 2u);
+}
+
+TEST(Spectrum1d, MinHeightFiltersWeakPeaks) {
+  const Spectrum1d s = make_1d({0.02, 0.001, 1.0, 0.001, 0.02});
+  const auto peaks = s.find_peaks(5, /*min_rel_height=*/0.1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].aoa_index, 2);
+}
+
+TEST(Spectrum1d, MinSeparationSuppressesNeighbors) {
+  const Spectrum1d s = make_1d({0.0, 1.0, 0.5, 0.9, 0.0});
+  const auto close = s.find_peaks(5, 0.05, /*min_separation=*/1);
+  EXPECT_EQ(close.size(), 2u);
+  const auto wide = s.find_peaks(5, 0.05, /*min_separation=*/3);
+  ASSERT_EQ(wide.size(), 1u);
+  EXPECT_EQ(wide[0].aoa_index, 1);
+}
+
+TEST(Spectrum1d, PlateauYieldsSinglePeak) {
+  const Spectrum1d s = make_1d({0.0, 1.0, 1.0, 1.0, 0.0});
+  EXPECT_EQ(s.find_peaks(5).size(), 1u);
+}
+
+TEST(Spectrum2d, FindsPeakAtCorrectCoordinates) {
+  Spectrum2d s;
+  s.aoa_grid = Grid(0.0, 180.0, 10);
+  s.toa_grid = Grid(0.0, 900e-9, 10);
+  s.values = RMat(10, 10);
+  s.values(3, 7) = 1.0;
+  s.values(8, 1) = 0.6;
+  const auto peaks = s.find_peaks(5);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].aoa_index, 3);
+  EXPECT_EQ(peaks[0].toa_index, 7);
+  EXPECT_DOUBLE_EQ(peaks[0].aoa_deg, s.aoa_grid[3]);
+  EXPECT_DOUBLE_EQ(peaks[0].toa_s, s.toa_grid[7]);
+  EXPECT_EQ(peaks[1].aoa_index, 8);
+}
+
+TEST(Spectrum2d, SuppressionWindowIsRectangular) {
+  Spectrum2d s;
+  s.aoa_grid = Grid(0.0, 9.0, 10);
+  s.toa_grid = Grid(0.0, 9.0, 10);
+  s.values = RMat(10, 10);
+  s.values(4, 4) = 1.0;
+  s.values(5, 6) = 0.9;  // within 2 samples in aoa, 2 in toa
+  const auto tight = s.find_peaks(5, 0.05, 1, 1);
+  EXPECT_EQ(tight.size(), 2u);
+  const auto wide = s.find_peaks(5, 0.05, 3, 3);
+  EXPECT_EQ(wide.size(), 1u);
+}
+
+TEST(Spectrum2d, AoaMarginalTakesMaxOverToa) {
+  Spectrum2d s;
+  s.aoa_grid = Grid(0.0, 2.0, 3);
+  s.toa_grid = Grid(0.0, 1.0, 2);
+  s.values = RMat(3, 2);
+  s.values(0, 0) = 0.3;
+  s.values(0, 1) = 0.7;
+  s.values(2, 0) = 1.0;
+  const Spectrum1d m = s.aoa_marginal();
+  ASSERT_EQ(m.values.size(), 3);
+  EXPECT_DOUBLE_EQ(m.values[0], 0.7);
+  EXPECT_DOUBLE_EQ(m.values[1], 0.0);
+  EXPECT_DOUBLE_EQ(m.values[2], 1.0);
+}
+
+TEST(Spectrum2d, EmptySpectrumYieldsNoPeaks) {
+  Spectrum2d s;
+  s.aoa_grid = Grid(0.0, 1.0, 2);
+  s.toa_grid = Grid(0.0, 1.0, 2);
+  s.values = RMat(2, 2);
+  EXPECT_TRUE(s.find_peaks(5).empty());
+}
+
+}  // namespace
+}  // namespace roarray::dsp

@@ -1,0 +1,127 @@
+#include "linalg/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace roarray::linalg {
+namespace {
+
+TEST(EigHermitian, DiagonalMatrix) {
+  CMat a(3, 3);
+  a(0, 0) = cxd{3.0, 0.0};
+  a(1, 1) = cxd{1.0, 0.0};
+  a(2, 2) = cxd{2.0, 0.0};
+  const EigResult e = eig_hermitian(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(EigHermitian, KnownTwoByTwo) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  CMat a(2, 2);
+  a(0, 0) = cxd{2.0, 0.0};
+  a(0, 1) = cxd{0.0, 1.0};
+  a(1, 0) = cxd{0.0, -1.0};
+  a(1, 1) = cxd{2.0, 0.0};
+  const EigResult e = eig_hermitian(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(EigHermitian, NonSquareThrows) {
+  EXPECT_THROW(eig_hermitian(CMat(2, 3)), std::invalid_argument);
+}
+
+TEST(EigHermitian, NonHermitianThrows) {
+  CMat a(2, 2);
+  a(0, 1) = cxd{1.0, 0.0};
+  a(1, 0) = cxd{5.0, 0.0};
+  EXPECT_THROW(eig_hermitian(a), std::invalid_argument);
+}
+
+TEST(EigHermitian, EigenvectorsAreUnitary) {
+  auto rng = testing::make_rng(31);
+  const CMat a = testing::random_hermitian(8, rng);
+  const EigResult e = eig_hermitian(a);
+  testing::expect_orthonormal_columns(e.eigenvectors, 1e-9);
+}
+
+TEST(EigHermitian, SatisfiesEigenEquation) {
+  auto rng = testing::make_rng(32);
+  const CMat a = testing::random_hermitian(10, rng);
+  const EigResult e = eig_hermitian(a);
+  for (index_t k = 0; k < 10; ++k) {
+    const CVec v = e.eigenvectors.col_vec(k);
+    CVec av = matvec(a, v);
+    CVec lv = v;
+    lv *= cxd{e.eigenvalues[k], 0.0};
+    av -= lv;
+    EXPECT_NEAR(norm2(av), 0.0, 1e-8) << "eigenpair " << k;
+  }
+}
+
+TEST(EigHermitian, ReconstructsMatrix) {
+  auto rng = testing::make_rng(33);
+  const CMat a = testing::random_hermitian(6, rng);
+  const EigResult e = eig_hermitian(a);
+  CMat d(6, 6);
+  for (index_t i = 0; i < 6; ++i) d(i, i) = cxd{e.eigenvalues[i], 0.0};
+  const CMat rec = matmul(matmul(e.eigenvectors, d), adjoint(e.eigenvectors));
+  testing::expect_mat_near(rec, a, 1e-8, "V D V^H = A");
+}
+
+TEST(EigHermitian, TraceEqualsEigenvalueSum) {
+  auto rng = testing::make_rng(34);
+  const CMat a = testing::random_hermitian(12, rng);
+  const EigResult e = eig_hermitian(a);
+  double tr = 0.0;
+  for (index_t i = 0; i < 12; ++i) tr += a(i, i).real();
+  double sum = 0.0;
+  for (index_t i = 0; i < 12; ++i) sum += e.eigenvalues[i];
+  EXPECT_NEAR(tr, sum, 1e-8);
+}
+
+TEST(EigHermitian, PsdMatrixHasNonNegativeEigenvalues) {
+  auto rng = testing::make_rng(35);
+  const CMat b = testing::random_cmat(6, 3, rng);
+  const CMat a = matmul(b, adjoint(b));  // rank <= 3, PSD
+  const EigResult e = eig_hermitian(a);
+  for (index_t i = 0; i < 6; ++i) EXPECT_GE(e.eigenvalues[i], -1e-9);
+  // Rank deficiency: the three smallest eigenvalues vanish.
+  EXPECT_NEAR(e.eigenvalues[0], 0.0, 1e-8);
+  EXPECT_NEAR(e.eigenvalues[2], 0.0, 1e-8);
+  EXPECT_GT(e.eigenvalues[3], 1e-6);
+}
+
+TEST(EigHermitian, RepeatedEigenvaluesHandled) {
+  const CMat a = CMat::identity(5) * cxd{4.0, 0.0};
+  const EigResult e = eig_hermitian(a);
+  for (index_t i = 0; i < 5; ++i) EXPECT_NEAR(e.eigenvalues[i], 4.0, 1e-12);
+  testing::expect_orthonormal_columns(e.eigenvectors, 1e-10);
+}
+
+class EigSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(EigSizes, InvariantsAcrossSizes) {
+  const index_t n = GetParam();
+  auto rng = testing::make_rng(static_cast<std::uint64_t>(1000 + n));
+  const CMat a = testing::random_hermitian(n, rng);
+  const EigResult e = eig_hermitian(a);
+  testing::expect_orthonormal_columns(e.eigenvectors, 1e-8);
+  // Ascending order.
+  for (index_t i = 1; i < n; ++i) {
+    EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i] + 1e-12);
+  }
+  // Frobenius norm preserved: sum lambda_i^2 = ||A||_F^2.
+  double sum_sq = 0.0;
+  for (index_t i = 0; i < n; ++i) sum_sq += e.eigenvalues[i] * e.eigenvalues[i];
+  EXPECT_NEAR(std::sqrt(sum_sq), norm_fro(a), 1e-7 * std::max(1.0, norm_fro(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 30, 48));
+
+}  // namespace
+}  // namespace roarray::linalg

@@ -1,0 +1,128 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace roarray::linalg {
+namespace {
+
+TEST(Qr, ReconstructsSquareMatrix) {
+  auto rng = testing::make_rng(1);
+  const CMat a = testing::random_cmat(5, 5, rng);
+  const QrResult f = qr(a);
+  testing::expect_mat_near(matmul(f.q, f.r), a, 1e-10, "QR = A");
+}
+
+TEST(Qr, ReconstructsTallMatrix) {
+  auto rng = testing::make_rng(2);
+  const CMat a = testing::random_cmat(9, 4, rng);
+  const QrResult f = qr(a);
+  EXPECT_EQ(f.q.rows(), 9);
+  EXPECT_EQ(f.q.cols(), 4);
+  EXPECT_EQ(f.r.rows(), 4);
+  testing::expect_mat_near(matmul(f.q, f.r), a, 1e-10, "QR = A");
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  auto rng = testing::make_rng(3);
+  const CMat a = testing::random_cmat(8, 5, rng);
+  const QrResult f = qr(a);
+  testing::expect_orthonormal_columns(f.q, 1e-10);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  auto rng = testing::make_rng(4);
+  const CMat a = testing::random_cmat(6, 6, rng);
+  const QrResult f = qr(a);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = j + 1; i < 6; ++i)
+      EXPECT_NEAR(std::abs(f.r(i, j)), 0.0, 1e-12);
+}
+
+TEST(Qr, WideMatrixThrows) {
+  EXPECT_THROW(qr(CMat(2, 5)), std::invalid_argument);
+}
+
+TEST(Qr, SolveRecoversKnownSolution) {
+  auto rng = testing::make_rng(5);
+  const CMat a = testing::random_cmat(7, 7, rng);
+  const CVec x_true = testing::random_cvec(7, rng);
+  const CVec b = matvec(a, x_true);
+  const CVec x = solve(a, b);
+  testing::expect_vec_near(x, x_true, 1e-9, "solve");
+}
+
+TEST(Qr, SolveMultipleRhs) {
+  auto rng = testing::make_rng(6);
+  const CMat a = testing::random_cmat(5, 5, rng);
+  const CMat x_true = testing::random_cmat(5, 3, rng);
+  const CMat b = matmul(a, x_true);
+  const CMat x = solve(a, b);
+  testing::expect_mat_near(x, x_true, 1e-9, "multi-rhs solve");
+}
+
+TEST(Qr, SolveRejectsNonSquare) {
+  EXPECT_THROW(solve(CMat(3, 2), CVec(3)), std::invalid_argument);
+}
+
+TEST(Qr, SolveSingularThrows) {
+  CMat a(3, 3);  // rank 1
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) a(i, j) = cxd{1.0, 0.0};
+  EXPECT_THROW(solve(a, CVec(3)), std::domain_error);
+}
+
+TEST(Qr, LstsqExactForConsistentSystem) {
+  auto rng = testing::make_rng(7);
+  const CMat a = testing::random_cmat(10, 4, rng);
+  const CVec x_true = testing::random_cvec(4, rng);
+  const CVec b = matvec(a, x_true);
+  testing::expect_vec_near(lstsq(a, b), x_true, 1e-9, "consistent lstsq");
+}
+
+TEST(Qr, LstsqResidualIsOrthogonalToRange) {
+  auto rng = testing::make_rng(8);
+  const CMat a = testing::random_cmat(12, 5, rng);
+  const CVec b = testing::random_cvec(12, rng);
+  const CVec x = lstsq(a, b);
+  CVec r = matvec(a, x);
+  r -= b;
+  // Normal equations: A^H r = 0 at the least-squares optimum.
+  const CVec g = matvec_adj(a, r);
+  EXPECT_NEAR(norm2(g), 0.0, 1e-8);
+}
+
+TEST(Qr, LstsqSizeMismatchThrows) {
+  EXPECT_THROW(lstsq(CMat(4, 2), CVec(3)), std::invalid_argument);
+}
+
+TEST(Qr, HandlesZeroColumnGracefully) {
+  CMat a(3, 2);
+  a(0, 1) = cxd{1.0, 0.0};  // first column all zero
+  EXPECT_THROW(lstsq(a, CVec(3)), std::domain_error);
+}
+
+class QrRandomSizes : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(QrRandomSizes, FactorizationInvariantsHold) {
+  const auto [m, n] = GetParam();
+  auto rng = testing::make_rng(static_cast<std::uint64_t>(m * 100 + n));
+  const CMat a = testing::random_cmat(m, n, rng);
+  const QrResult f = qr(a);
+  testing::expect_mat_near(matmul(f.q, f.r), a, 1e-9, "QR = A");
+  testing::expect_orthonormal_columns(f.q, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, QrRandomSizes,
+    ::testing::Values(std::pair<index_t, index_t>{1, 1},
+                      std::pair<index_t, index_t>{3, 1},
+                      std::pair<index_t, index_t>{4, 4},
+                      std::pair<index_t, index_t>{10, 3},
+                      std::pair<index_t, index_t>{20, 12},
+                      std::pair<index_t, index_t>{30, 30},
+                      std::pair<index_t, index_t>{50, 8}));
+
+}  // namespace
+}  // namespace roarray::linalg

@@ -1,0 +1,112 @@
+#include "music/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roarray::music {
+namespace {
+
+std::vector<FeaturePoint> blob(double cx, double cy, int n, double spread,
+                               double weight = 1.0) {
+  std::vector<FeaturePoint> pts;
+  for (int i = 0; i < n; ++i) {
+    FeaturePoint p;
+    p.x = cx + spread * (static_cast<double>(i % 5) - 2.0) / 5.0;
+    p.y = cy + spread * (static_cast<double>(i % 3) - 1.0) / 3.0;
+    p.weight = weight;
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+TEST(Kmeans, EmptyInputThrows) {
+  EXPECT_THROW(kmeans({}, 2), std::invalid_argument);
+}
+
+TEST(Kmeans, InvalidKThrows) {
+  EXPECT_THROW(kmeans(blob(0, 0, 3, 0.1), 0), std::invalid_argument);
+}
+
+TEST(Kmeans, SinglePointSingleCluster) {
+  const auto clusters = kmeans(blob(0.5, 0.5, 1, 0.0), 3);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_DOUBLE_EQ(clusters[0].cx, 0.5);
+  EXPECT_DOUBLE_EQ(clusters[0].cy, 0.5);
+  EXPECT_EQ(clusters[0].members.size(), 1u);
+}
+
+TEST(Kmeans, SeparatesTwoBlobs) {
+  auto pts = blob(0.1, 0.1, 12, 0.05);
+  const auto b2 = blob(0.9, 0.8, 12, 0.05);
+  pts.insert(pts.end(), b2.begin(), b2.end());
+  const auto clusters = kmeans(pts, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  const bool first_low = clusters[0].cx < 0.5;
+  const Cluster& low = first_low ? clusters[0] : clusters[1];
+  const Cluster& high = first_low ? clusters[1] : clusters[0];
+  EXPECT_NEAR(low.cx, 0.1, 0.05);
+  EXPECT_NEAR(low.cy, 0.1, 0.05);
+  EXPECT_NEAR(high.cx, 0.9, 0.05);
+  EXPECT_NEAR(high.cy, 0.8, 0.05);
+  EXPECT_EQ(low.members.size(), 12u);
+  EXPECT_EQ(high.members.size(), 12u);
+}
+
+TEST(Kmeans, WeightsPullCentroids) {
+  std::vector<FeaturePoint> pts;
+  FeaturePoint heavy;
+  heavy.x = 1.0;
+  heavy.weight = 9.0;
+  FeaturePoint light;
+  light.x = 0.0;
+  light.weight = 1.0;
+  pts.push_back(heavy);
+  pts.push_back(light);
+  const auto clusters = kmeans(pts, 1);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_NEAR(clusters[0].cx, 0.9, 1e-9);  // weighted centroid
+}
+
+TEST(Kmeans, VarianceReflectsSpread) {
+  const auto tight = kmeans(blob(0.5, 0.5, 15, 0.02), 1);
+  const auto loose = kmeans(blob(0.5, 0.5, 15, 0.4), 1);
+  ASSERT_EQ(tight.size(), 1u);
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_LT(tight[0].var_x, loose[0].var_x);
+  EXPECT_LT(tight[0].var_y, loose[0].var_y);
+}
+
+TEST(Kmeans, KClampedToPointCount) {
+  const auto clusters = kmeans(blob(0.2, 0.2, 3, 0.3), 10);
+  EXPECT_LE(clusters.size(), 3u);
+  std::size_t members = 0;
+  for (const auto& c : clusters) members += c.members.size();
+  EXPECT_EQ(members, 3u);
+}
+
+TEST(Kmeans, DeterministicAcrossRuns) {
+  auto pts = blob(0.3, 0.3, 8, 0.1);
+  const auto b2 = blob(0.7, 0.6, 9, 0.1);
+  pts.insert(pts.end(), b2.begin(), b2.end());
+  const auto c1 = kmeans(pts, 3);
+  const auto c2 = kmeans(pts, 3);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c1[i].cx, c2[i].cx);
+    EXPECT_DOUBLE_EQ(c1[i].cy, c2[i].cy);
+  }
+}
+
+TEST(Kmeans, EveryPointAssignedExactlyOnce) {
+  auto pts = blob(0.2, 0.8, 10, 0.2);
+  const auto b2 = blob(0.8, 0.2, 10, 0.2);
+  pts.insert(pts.end(), b2.begin(), b2.end());
+  const auto clusters = kmeans(pts, 4);
+  std::vector<int> seen(pts.size(), 0);
+  for (const auto& c : clusters) {
+    for (auto idx : c.members) seen[static_cast<std::size_t>(idx)]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+}  // namespace
+}  // namespace roarray::music

@@ -1,0 +1,108 @@
+#include "music/covariance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/steering.hpp"
+#include "linalg/eig.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::music {
+namespace {
+
+namespace rt = roarray::testing;
+using linalg::CVec;
+using linalg::cxd;
+
+TEST(Covariance, NoSnapshotsThrows) {
+  EXPECT_THROW(sample_covariance(CMat(4, 0)), std::invalid_argument);
+}
+
+TEST(Covariance, SingleSnapshotOuterProduct) {
+  CMat y(2, 1);
+  y(0, 0) = cxd{1.0, 0.0};
+  y(1, 0) = cxd{0.0, 2.0};
+  const CMat r = sample_covariance(y);
+  EXPECT_NEAR(std::abs(r(0, 0) - cxd{1.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(r(1, 1) - cxd{4.0, 0.0}), 0.0, 1e-14);
+  // r(0,1) = y0 * conj(y1) = 1 * (-2i) = -2i.
+  EXPECT_NEAR(std::abs(r(0, 1) - cxd{0.0, -2.0}), 0.0, 1e-14);
+}
+
+TEST(Covariance, IsHermitianPsd) {
+  auto rng = rt::make_rng(101);
+  const CMat y = rt::random_cmat(6, 40, rng);
+  const CMat r = sample_covariance(y);
+  rt::expect_mat_near(r, adjoint(r), 1e-12, "Hermitian");
+  const auto eg = linalg::eig_hermitian(r);
+  for (linalg::index_t i = 0; i < 6; ++i) EXPECT_GE(eg.eigenvalues[i], -1e-10);
+}
+
+TEST(Covariance, ScalesAsAverage) {
+  // Duplicating snapshots must not change the covariance.
+  auto rng = rt::make_rng(102);
+  const CMat y = rt::random_cmat(4, 10, rng);
+  CMat y2(4, 20);
+  for (linalg::index_t j = 0; j < 10; ++j) {
+    y2.set_col(j, y.col_vec(j));
+    y2.set_col(10 + j, y.col_vec(j));
+  }
+  rt::expect_mat_near(sample_covariance(y), sample_covariance(y2), 1e-12,
+                      "duplication invariance");
+}
+
+TEST(ForwardBackward, PreservesHermitianity) {
+  auto rng = rt::make_rng(103);
+  const CMat r = sample_covariance(rt::random_cmat(5, 20, rng));
+  const CMat fb = forward_backward_average(r);
+  rt::expect_mat_near(fb, adjoint(fb), 1e-12, "Hermitian after FB");
+}
+
+TEST(ForwardBackward, FixedPointOfPersymmetricMatrix) {
+  // FB averaging is idempotent.
+  auto rng = rt::make_rng(104);
+  const CMat r = sample_covariance(rt::random_cmat(4, 15, rng));
+  const CMat fb = forward_backward_average(r);
+  rt::expect_mat_near(forward_backward_average(fb), fb, 1e-12, "idempotent");
+}
+
+TEST(ForwardBackward, PreservesTrace) {
+  auto rng = rt::make_rng(105);
+  const CMat r = sample_covariance(rt::random_cmat(6, 30, rng));
+  const CMat fb = forward_backward_average(r);
+  cxd tr{}, tr_fb{};
+  for (linalg::index_t i = 0; i < 6; ++i) {
+    tr += r(i, i);
+    tr_fb += fb(i, i);
+  }
+  EXPECT_NEAR(std::abs(tr - tr_fb), 0.0, 1e-12);
+}
+
+TEST(ForwardBackward, NonSquareThrows) {
+  EXPECT_THROW(forward_backward_average(CMat(2, 3)), std::invalid_argument);
+}
+
+TEST(ForwardBackward, DecorrelatesCoherentSources) {
+  // Two fully coherent sources make the plain covariance rank 1; FB
+  // averaging raises the signal-subspace rank to 2, which is exactly why
+  // subspace methods need it on a ULA.
+  const dsp::ArrayConfig cfg{.num_antennas = 5};
+  const auto s1 = dsp::steering_aoa(50.0, cfg);
+  const auto s2 = dsp::steering_aoa(120.0, cfg);
+  CMat y(5, 10);
+  for (linalg::index_t t = 0; t < 10; ++t) {
+    const cxd a = std::polar(1.0, 0.4 * static_cast<double>(t));
+    for (linalg::index_t i = 0; i < 5; ++i) {
+      y(i, t) = a * (s1[i] + cxd{0.8, 0.3} * s2[i]);  // coherent mixture
+    }
+  }
+  const CMat r = sample_covariance(y);
+  const auto eg_plain = linalg::eig_hermitian(r);
+  const auto eg_fb = linalg::eig_hermitian(forward_backward_average(r));
+  // Second-largest eigenvalue: negligible without FB, substantial with.
+  const double second_plain = eg_plain.eigenvalues[3];
+  const double second_fb = eg_fb.eigenvalues[3];
+  EXPECT_GT(second_fb, 100.0 * std::max(second_plain, 1e-12));
+}
+
+}  // namespace
+}  // namespace roarray::music

@@ -1,0 +1,185 @@
+#include "music/music.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/csi.hpp"
+#include "dsp/sanitize.hpp"
+#include "music/covariance.hpp"
+#include "music/smoothing.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::music {
+namespace {
+
+namespace rt = roarray::testing;
+using linalg::CVec;
+using linalg::cxd;
+using linalg::index_t;
+
+/// Builds the sample covariance of noisy snapshots of planted sources.
+CMat planted_covariance(const std::vector<double>& angles_deg,
+                        const dsp::ArrayConfig& cfg, index_t snapshots,
+                        double noise_sigma, std::mt19937_64& rng) {
+  CMat y(cfg.num_antennas, snapshots);
+  std::normal_distribution<double> n(0.0, 1.0);
+  for (index_t t = 0; t < snapshots; ++t) {
+    for (double a : angles_deg) {
+      const auto s = dsp::steering_aoa(a, cfg);
+      const cxd amp{n(rng), n(rng)};  // independent per source per snapshot
+      for (index_t i = 0; i < cfg.num_antennas; ++i) y(i, t) += amp * s[i];
+    }
+    for (index_t i = 0; i < cfg.num_antennas; ++i) {
+      y(i, t) += cxd{n(rng) * noise_sigma, n(rng) * noise_sigma};
+    }
+  }
+  return sample_covariance(y);
+}
+
+TEST(NoiseSubspace, DimensionAndOrthogonality) {
+  auto rng = rt::make_rng(121);
+  const dsp::ArrayConfig cfg{.num_antennas = 5};
+  const CMat r = planted_covariance({60.0}, cfg, 200, 0.05, rng);
+  const CMat en = noise_subspace(r, 1);
+  EXPECT_EQ(en.rows(), 5);
+  EXPECT_EQ(en.cols(), 4);
+  rt::expect_orthonormal_columns(en, 1e-9);
+  // Noise subspace is (nearly) orthogonal to the source steering vector.
+  const auto s = dsp::steering_aoa(60.0, cfg);
+  for (index_t j = 0; j < 4; ++j) {
+    cxd proj{};
+    for (index_t i = 0; i < 5; ++i) proj += std::conj(en(i, j)) * s[i];
+    EXPECT_LT(std::abs(proj), 0.1) << "column " << j;
+  }
+}
+
+TEST(NoiseSubspace, InvalidKThrows) {
+  const CMat r = CMat::identity(4);
+  EXPECT_THROW(noise_subspace(r, 0), std::invalid_argument);
+  EXPECT_THROW(noise_subspace(r, 4), std::invalid_argument);
+}
+
+TEST(MusicAoa, FindsSingleSourceAtHighSnr) {
+  auto rng = rt::make_rng(122);
+  const dsp::ArrayConfig cfg;
+  const CMat r = planted_covariance({150.0}, cfg, 300, 0.02, rng);
+  const auto spec = music_spectrum_aoa(r, 1, dsp::Grid(0.0, 180.0, 181), cfg);
+  const auto peaks = spec.find_peaks(1);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks[0].aoa_deg, 150.0, 2.0);
+}
+
+TEST(MusicAoa, ResolvesTwoSourcesWithThreeAntennas) {
+  auto rng = rt::make_rng(123);
+  const dsp::ArrayConfig cfg;
+  const CMat r = planted_covariance({50.0, 120.0}, cfg, 500, 0.02, rng);
+  const auto spec = music_spectrum_aoa(r, 2, dsp::Grid(0.0, 180.0, 181), cfg);
+  const auto peaks = spec.find_peaks(2, 0.01, 5);
+  ASSERT_EQ(peaks.size(), 2u);
+  const double a = std::min(peaks[0].aoa_deg, peaks[1].aoa_deg);
+  const double b = std::max(peaks[0].aoa_deg, peaks[1].aoa_deg);
+  EXPECT_NEAR(a, 50.0, 4.0);
+  EXPECT_NEAR(b, 120.0, 4.0);
+}
+
+TEST(MusicAoa, CovarianceDimensionMismatchThrows) {
+  const dsp::ArrayConfig cfg;  // 3 antennas
+  EXPECT_THROW(
+      music_spectrum_aoa(CMat::identity(4), 1, dsp::Grid(0.0, 180.0, 19), cfg),
+      std::invalid_argument);
+}
+
+TEST(MusicAoa, SpectrumDegradesWithNoise) {
+  // The defining weakness the paper attacks: beam sharpness collapses as
+  // SNR falls. Sharpness = peak / mean of the normalized spectrum.
+  const dsp::ArrayConfig cfg;
+  auto sharpness_at = [&](double sigma) {
+    auto rng = rt::make_rng(124);
+    const CMat r = planted_covariance({150.0}, cfg, 60, sigma, rng);
+    const auto spec = music_spectrum_aoa(r, 1, dsp::Grid(0.0, 180.0, 181), cfg);
+    double mean = 0.0;
+    for (index_t i = 0; i < spec.values.size(); ++i) mean += spec.values[i];
+    mean /= static_cast<double>(spec.values.size());
+    return 1.0 / mean;  // spectrum normalized to peak 1
+  };
+  EXPECT_GT(sharpness_at(0.05), sharpness_at(1.2));
+}
+
+TEST(MusicJoint, LocalizesPathInAngleAndTime) {
+  const dsp::ArrayConfig cfg;
+  channel::Path p;
+  p.aoa_deg = 100.0;
+  p.toa_s = 240e-9;
+  p.gain = cxd{1.0, 0.0};
+  auto rng = rt::make_rng(125);
+  CMat csi = channel::synthesize_csi({p}, cfg);
+  channel::add_noise(csi, 25.0, rng);
+  const SmoothingConfig sc;
+  CMat r = sample_covariance(smooth_csi(csi, sc));
+  r = forward_backward_average(r);
+  const auto spec = music_spectrum_joint(r, 3, dsp::Grid(0.0, 180.0, 91),
+                                         dsp::Grid(0.0, 784e-9, 50), cfg,
+                                         sc.sub_antennas, sc.sub_carriers);
+  const auto peaks = spec.find_peaks(1);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks[0].aoa_deg, 100.0, 4.0);
+  EXPECT_NEAR(peaks[0].toa_s, 240e-9, 40e-9);
+}
+
+TEST(MusicJoint, SeparatesTwoPathsByToa) {
+  // Two paths at nearby angles but distinct delays: the frequency
+  // dimension must split them (the paper's aperture-expansion argument).
+  const dsp::ArrayConfig cfg;
+  channel::Path p1;
+  p1.aoa_deg = 90.0;
+  p1.toa_s = 60e-9;
+  p1.gain = cxd{1.0, 0.0};
+  channel::Path p2;
+  p2.aoa_deg = 110.0;
+  p2.toa_s = 360e-9;
+  p2.gain = cxd{0.8, 0.2};
+  auto rng = rt::make_rng(126);
+  CMat csi = channel::synthesize_csi({p1, p2}, cfg);
+  channel::add_noise(csi, 25.0, rng);
+  const SmoothingConfig sc;
+  CMat r = sample_covariance(smooth_csi(csi, sc));
+  r = forward_backward_average(r);
+  const auto spec = music_spectrum_joint(r, 4, dsp::Grid(0.0, 180.0, 91),
+                                         dsp::Grid(0.0, 784e-9, 50), cfg,
+                                         sc.sub_antennas, sc.sub_carriers);
+  const auto peaks = spec.find_peaks(2, 0.05, 3, 3);
+  ASSERT_EQ(peaks.size(), 2u);
+  const double t_min = std::min(peaks[0].toa_s, peaks[1].toa_s);
+  const double t_max = std::max(peaks[0].toa_s, peaks[1].toa_s);
+  EXPECT_NEAR(t_min, 60e-9, 50e-9);
+  EXPECT_NEAR(t_max, 360e-9, 50e-9);
+}
+
+TEST(MusicJoint, DimensionMismatchThrows) {
+  const dsp::ArrayConfig cfg;
+  EXPECT_THROW(music_spectrum_joint(CMat::identity(10), 2,
+                                    dsp::Grid(0.0, 180.0, 10),
+                                    dsp::Grid(0.0, 700e-9, 5), cfg, 2, 15),
+               std::invalid_argument);
+}
+
+class MusicAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MusicAngleSweep, SingleSourceRecoveredAcrossAngles) {
+  const double truth = GetParam();
+  auto rng = rt::make_rng(static_cast<std::uint64_t>(truth * 7 + 3));
+  const dsp::ArrayConfig cfg;
+  const CMat r = planted_covariance({truth}, cfg, 200, 0.05, rng);
+  const auto spec = music_spectrum_aoa(r, 1, dsp::Grid(0.0, 180.0, 361), cfg);
+  const auto peaks = spec.find_peaks(1);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks[0].aoa_deg, truth, 3.0);
+}
+
+// Endfire angles (near 0/180) have poor ULA resolution; sweep the
+// usable field of view.
+INSTANTIATE_TEST_SUITE_P(Angles, MusicAngleSweep,
+                         ::testing::Values(25.0, 45.0, 70.0, 90.0, 115.0,
+                                           140.0, 160.0));
+
+}  // namespace
+}  // namespace roarray::music

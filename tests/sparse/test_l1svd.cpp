@@ -1,0 +1,111 @@
+#include "sparse/l1svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace roarray::sparse {
+namespace {
+
+namespace rt = roarray::testing;
+using linalg::CVec;
+using linalg::cxd;
+
+/// Builds snapshots Y = A X with a rank-k signal plus noise.
+CMat make_snapshots(index_t m, index_t p, index_t rank, double noise,
+                    std::mt19937_64& rng) {
+  const CMat basis = rt::random_cmat(m, rank, rng);
+  const CMat coeffs = rt::random_cmat(rank, p, rng);
+  CMat y = matmul(basis, coeffs);
+  if (noise > 0.0) {
+    CMat n = rt::random_cmat(m, p, rng);
+    n *= cxd{noise, 0.0};
+    y += n;
+  }
+  return y;
+}
+
+TEST(L1Svd, ReducedShapeAndExplicitRank) {
+  auto rng = rt::make_rng(91);
+  const CMat y = make_snapshots(12, 20, 3, 0.0, rng);
+  const SvdReduction r = reduce_snapshots(y, 5);
+  EXPECT_EQ(r.reduced.rows(), 12);
+  EXPECT_EQ(r.reduced.cols(), 5);
+  EXPECT_EQ(r.rank_estimate, 5);
+}
+
+TEST(L1Svd, RankEstimateFindsSignalSubspace) {
+  auto rng = rt::make_rng(92);
+  const CMat y = make_snapshots(16, 30, 4, 0.001, rng);
+  const SvdReduction r = reduce_snapshots(y, -1, 0.05);
+  EXPECT_EQ(r.rank_estimate, 4);
+}
+
+TEST(L1Svd, ReductionPreservesColumnSpaceEnergy) {
+  // ||Y V_k||_F^2 = sum of top-k sigma^2; with k = rank it captures
+  // (almost) all the energy of a rank-k matrix.
+  auto rng = rt::make_rng(93);
+  const CMat y = make_snapshots(10, 25, 2, 0.0, rng);
+  const SvdReduction r = reduce_snapshots(y, 2);
+  const double full = norm_fro(y);
+  const double kept = norm_fro(r.reduced);
+  EXPECT_NEAR(kept, full, 1e-8 * full);
+}
+
+TEST(L1Svd, SingularValuesDescending) {
+  auto rng = rt::make_rng(94);
+  const CMat y = make_snapshots(8, 12, 8, 0.1, rng);
+  const SvdReduction r = reduce_snapshots(y, 3);
+  for (index_t i = 1; i < r.singular_values.size(); ++i) {
+    EXPECT_LE(r.singular_values[i], r.singular_values[i - 1] + 1e-12);
+  }
+}
+
+TEST(L1Svd, KeepClampedToAvailable) {
+  auto rng = rt::make_rng(95);
+  const CMat y = make_snapshots(6, 4, 2, 0.0, rng);
+  const SvdReduction r = reduce_snapshots(y, 10);
+  EXPECT_EQ(r.reduced.cols(), 4);  // min(m, p) = 4
+}
+
+TEST(L1Svd, EmptyThrows) {
+  EXPECT_THROW(reduce_snapshots(CMat(0, 0)), std::invalid_argument);
+}
+
+TEST(L1Svd, SingleSnapshotPassesThrough) {
+  auto rng = rt::make_rng(96);
+  const CMat y = rt::random_cmat(9, 1, rng);
+  const SvdReduction r = reduce_snapshots(y, 1);
+  // One snapshot: the reduction is the snapshot itself up to phase.
+  EXPECT_EQ(r.reduced.cols(), 1);
+  EXPECT_NEAR(norm_fro(r.reduced), norm_fro(y), 1e-10);
+}
+
+TEST(L1Svd, NoiseAveragingImprovesSubspace) {
+  // The dominant direction of the reduction from many noisy snapshots of
+  // a rank-1 signal must align better with the true direction than a
+  // single noisy snapshot does.
+  auto rng = rt::make_rng(97);
+  const CVec u = rt::random_cvec(20, rng);
+  CMat many(20, 40);
+  std::normal_distribution<double> n(0.0, 0.5);
+  for (index_t p = 0; p < 40; ++p) {
+    std::normal_distribution<double> coeff(0.0, 1.0);
+    const cxd c{coeff(rng), coeff(rng)};
+    for (index_t i = 0; i < 20; ++i) {
+      many(i, p) = u[i] * c + cxd{n(rng), n(rng)};
+    }
+  }
+  const SvdReduction r = reduce_snapshots(many, 1);
+  const CVec dom = r.reduced.col_vec(0);
+  const double align =
+      std::abs(dot(u, dom)) / (norm2(u) * norm2(dom));
+  const CVec single = many.col_vec(0);
+  const double align_single =
+      std::abs(dot(u, single)) / (norm2(u) * norm2(single));
+  EXPECT_GT(align, align_single);
+  EXPECT_GT(align, 0.9);
+}
+
+}  // namespace
+}  // namespace roarray::sparse

@@ -1,0 +1,188 @@
+#include "sparse/omp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/steering.hpp"
+#include "sparse/fista.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::sparse {
+namespace {
+
+namespace rt = roarray::testing;
+
+TEST(Omp, RecoversExactSupportNoiseless) {
+  auto rng = rt::make_rng(971);
+  const CMat s = rt::random_cmat(12, 50, rng);
+  const DenseOperator op(s);
+  CVec x_true(50);
+  x_true[4] = cxd{2.0, -1.0};
+  x_true[23] = cxd{-1.0, 0.5};
+  x_true[41] = cxd{0.7, 0.7};
+  const CVec y = op.apply(x_true);
+  OmpConfig cfg;
+  cfg.max_atoms = 3;
+  cfg.residual_tolerance = 1e-8;
+  const OmpResult r = solve_omp(op, y, cfg);
+  ASSERT_EQ(r.support.size(), 3u);
+  std::vector<index_t> sorted = r.support;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted[0], 4);
+  EXPECT_EQ(sorted[1], 23);
+  EXPECT_EQ(sorted[2], 41);
+  // Least-squares refit recovers the exact coefficients.
+  rt::expect_vec_near(r.x, x_true, 1e-8, "OMP coefficients");
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-8);
+}
+
+TEST(Omp, StopsEarlyOnSmallResidual) {
+  auto rng = rt::make_rng(972);
+  const CMat s = rt::random_cmat(10, 30, rng);
+  const DenseOperator op(s);
+  CVec x_true(30);
+  x_true[7] = cxd{1.0, 0.0};
+  const CVec y = op.apply(x_true);
+  OmpConfig cfg;
+  cfg.max_atoms = 10;
+  cfg.residual_tolerance = 1e-6;
+  const OmpResult r = solve_omp(op, y, cfg);
+  EXPECT_EQ(r.support.size(), 1u);  // one atom suffices
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(Omp, ZeroMeasurementGivesEmptySolution) {
+  const DenseOperator op(CMat(5, 10, cxd{1.0, 0.0}));
+  const OmpResult r = solve_omp(op, CVec(5));
+  EXPECT_TRUE(r.support.empty());
+  EXPECT_NEAR(norm2(r.x), 0.0, 1e-15);
+}
+
+TEST(Omp, InvalidInputsThrow) {
+  const DenseOperator op(CMat(5, 10, cxd{1.0, 0.0}));
+  EXPECT_THROW(solve_omp(op, CVec(4)), std::invalid_argument);
+  OmpConfig cfg;
+  cfg.max_atoms = 0;
+  EXPECT_THROW(solve_omp(op, CVec(5), cfg), std::invalid_argument);
+}
+
+TEST(Omp, BudgetCapsSupportSize) {
+  auto rng = rt::make_rng(973);
+  const CMat s = rt::random_cmat(10, 40, rng);
+  const DenseOperator op(s);
+  const CVec y = rt::random_cvec(10, rng);  // dense target: never converges
+  OmpConfig cfg;
+  cfg.max_atoms = 4;
+  cfg.residual_tolerance = 0.0;
+  const OmpResult r = solve_omp(op, y, cfg);
+  EXPECT_EQ(r.support.size(), 4u);
+}
+
+TEST(Omp, ResidualDecreasesWithMoreAtoms) {
+  auto rng = rt::make_rng(974);
+  const CMat s = rt::random_cmat(12, 40, rng);
+  const DenseOperator op(s);
+  const CVec y = rt::random_cvec(12, rng);
+  double prev = norm2(y);
+  for (index_t k : {1, 2, 4, 8}) {
+    OmpConfig cfg;
+    cfg.max_atoms = k;
+    cfg.residual_tolerance = 0.0;
+    const OmpResult r = solve_omp(op, y, cfg);
+    EXPECT_LE(r.residual_norm, prev + 1e-10) << "atoms " << k;
+    prev = r.residual_norm;
+  }
+}
+
+TEST(Omp, WorksOnSteeringOperatorAtHighSnr) {
+  // Two well-separated on-grid paths: greedy finds them both.
+  dsp::ArrayConfig arr;
+  const dsp::Grid aoa(0.0, 180.0, 46);
+  const dsp::Grid toa(0.0, 700e-9, 15);
+  const KroneckerOperator op(dsp::steering_matrix_aoa(aoa, arr),
+                             dsp::steering_matrix_toa(toa, arr));
+  CVec x_true(op.cols());
+  const index_t idx1 = 3 * 46 + 12;
+  const index_t idx2 = 9 * 46 + 33;
+  x_true[idx1] = cxd{1.0, 0.2};
+  x_true[idx2] = cxd{0.6, -0.3};
+  CVec y = op.apply(x_true);
+  auto rng = rt::make_rng(975);
+  std::normal_distribution<double> n(0.0, 0.05);
+  for (index_t i = 0; i < y.size(); ++i) y[i] += cxd{n(rng), n(rng)};
+  OmpConfig cfg;
+  cfg.max_atoms = 2;
+  const OmpResult r = solve_omp(op, y, cfg);
+  ASSERT_EQ(r.support.size(), 2u);
+  for (index_t picked : r.support) {
+    const bool near1 = std::abs(picked % 46 - idx1 % 46) <= 1 &&
+                       std::abs(picked / 46 - idx1 / 46) <= 1;
+    const bool near2 = std::abs(picked % 46 - idx2 % 46) <= 1 &&
+                       std::abs(picked / 46 - idx2 / 46) <= 1;
+    EXPECT_TRUE(near1 || near2) << "atom " << picked;
+  }
+}
+
+TEST(Omp, L1IsMoreRobustAtLowSnr) {
+  // The ablation the solver exists for: average support-recovery rate of
+  // OMP vs FISTA on a noisy 2-path steering problem. l1 must win (or at
+  // least tie) at low SNR.
+  dsp::ArrayConfig arr;
+  const dsp::Grid aoa(0.0, 180.0, 46);
+  const dsp::Grid toa(0.0, 700e-9, 15);
+  const KroneckerOperator op(dsp::steering_matrix_aoa(aoa, arr),
+                             dsp::steering_matrix_toa(toa, arr));
+  const index_t idx1 = 3 * 46 + 12;
+  const index_t idx2 = 9 * 46 + 33;
+  auto near_any = [&](index_t picked) {
+    const bool near1 = std::abs(picked % 46 - idx1 % 46) <= 1 &&
+                       std::abs(picked / 46 - idx1 / 46) <= 1;
+    const bool near2 = std::abs(picked % 46 - idx2 % 46) <= 1 &&
+                       std::abs(picked / 46 - idx2 / 46) <= 1;
+    return near1 || near2;
+  };
+  int omp_hits = 0;
+  int l1_hits = 0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    CVec x_true(op.cols());
+    x_true[idx1] = cxd{1.0, 0.2};
+    x_true[idx2] = cxd{0.6, -0.3};
+    CVec y = op.apply(x_true);
+    auto rng = rt::make_rng(976 + static_cast<std::uint64_t>(t));
+    const double sigma = std::sqrt(norm2_sq(y) / static_cast<double>(y.size()));
+    std::normal_distribution<double> n(0.0, 0.7 * sigma);  // ~ 0 dB
+    for (index_t i = 0; i < y.size(); ++i) y[i] += cxd{n(rng), n(rng)};
+
+    OmpConfig ocfg;
+    ocfg.max_atoms = 2;
+    const OmpResult omp_r = solve_omp(op, y, ocfg);
+    bool omp_ok = omp_r.support.size() == 2;
+    for (index_t p : omp_r.support) omp_ok = omp_ok && near_any(p);
+    omp_hits += omp_ok ? 1 : 0;
+
+    SolveConfig scfg;
+    scfg.max_iterations = 400;
+    const SolveResult l1_r = solve_l1(op, y, scfg);
+    // Top-2 coefficients of the l1 solution.
+    index_t b1 = 0, b2 = 0;
+    double v1 = 0.0, v2 = 0.0;
+    for (index_t i = 0; i < l1_r.x.size(); ++i) {
+      const double v = std::abs(l1_r.x[i]);
+      if (v > v1) {
+        b2 = b1;
+        v2 = v1;
+        b1 = i;
+        v1 = v;
+      } else if (v > v2) {
+        b2 = i;
+        v2 = v;
+      }
+    }
+    l1_hits += (near_any(b1) && near_any(b2)) ? 1 : 0;
+  }
+  EXPECT_GE(l1_hits, omp_hits);
+  EXPECT_GE(l1_hits, trials - 2);  // l1 succeeds on most trials
+}
+
+}  // namespace
+}  // namespace roarray::sparse

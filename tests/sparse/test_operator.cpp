@@ -1,0 +1,140 @@
+#include "sparse/operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/grid.hpp"
+#include "dsp/steering.hpp"
+#include "../test_util.hpp"
+
+namespace roarray::sparse {
+namespace {
+
+namespace rt = roarray::testing;
+
+TEST(DenseOperator, MatchesMatrixProducts) {
+  auto rng = rt::make_rng(61);
+  const CMat s = rt::random_cmat(6, 10, rng);
+  const DenseOperator op(s);
+  EXPECT_EQ(op.rows(), 6);
+  EXPECT_EQ(op.cols(), 10);
+  const CVec x = rt::random_cvec(10, rng);
+  rt::expect_vec_near(op.apply(x), matvec(s, x), 1e-12, "apply");
+  const CVec y = rt::random_cvec(6, rng);
+  rt::expect_vec_near(op.apply_adjoint(y), matvec_adj(s, y), 1e-12, "adjoint");
+}
+
+TEST(DenseOperator, RowGramMatchesSSH) {
+  auto rng = rt::make_rng(62);
+  const CMat s = rt::random_cmat(5, 12, rng);
+  const DenseOperator op(s);
+  rt::expect_mat_near(op.row_gram(), matmul(s, adjoint(s)), 1e-12, "gram");
+}
+
+TEST(LinearOperator, AdjointIdentityHolds) {
+  // <S x, y> == <x, S^H y> for all x, y.
+  auto rng = rt::make_rng(63);
+  const CMat s = rt::random_cmat(7, 9, rng);
+  const DenseOperator op(s);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CVec x = rt::random_cvec(9, rng);
+    const CVec y = rt::random_cvec(7, rng);
+    const cxd lhs = dot(op.apply(x), y);
+    const cxd rhs = dot(x, op.apply_adjoint(y));
+    EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-10);
+  }
+}
+
+TEST(LinearOperator, MatVariantsMatchColumnwise) {
+  auto rng = rt::make_rng(64);
+  const CMat s = rt::random_cmat(6, 8, rng);
+  const DenseOperator op(s);
+  const CMat x = rt::random_cmat(8, 4, rng);
+  const CMat y = op.apply_mat(x);
+  for (index_t j = 0; j < 4; ++j) {
+    rt::expect_vec_near(y.col_vec(j), op.apply(x.col_vec(j)), 1e-12, "col");
+  }
+  const CMat z = rt::random_cmat(6, 3, rng);
+  const CMat back = op.apply_adjoint_mat(z);
+  for (index_t j = 0; j < 3; ++j) {
+    rt::expect_vec_near(back.col_vec(j), op.apply_adjoint(z.col_vec(j)), 1e-12,
+                        "adj col");
+  }
+}
+
+class KroneckerVsDense : public ::testing::Test {
+ protected:
+  KroneckerVsDense() {
+    cfg_.num_antennas = 3;
+    cfg_.num_subcarriers = 8;
+    aoa_ = dsp::Grid(0.0, 180.0, 13);
+    toa_ = dsp::Grid(0.0, 700e-9, 5);
+    op_ = std::make_unique<KroneckerOperator>(
+        dsp::steering_matrix_aoa(aoa_, cfg_),
+        dsp::steering_matrix_toa(toa_, cfg_));
+    dense_ = dsp::steering_matrix_joint(aoa_, toa_, cfg_);
+  }
+
+  dsp::ArrayConfig cfg_;
+  dsp::Grid aoa_, toa_;
+  std::unique_ptr<KroneckerOperator> op_;
+  CMat dense_;
+};
+
+TEST_F(KroneckerVsDense, DimensionsMatchJointMatrix) {
+  EXPECT_EQ(op_->rows(), dense_.rows());
+  EXPECT_EQ(op_->cols(), dense_.cols());
+}
+
+TEST_F(KroneckerVsDense, ToDenseEqualsJointSteeringMatrix) {
+  rt::expect_mat_near(op_->to_dense(), dense_, 1e-10,
+                      "Kronecker == Eq.16 matrix");
+}
+
+TEST_F(KroneckerVsDense, ApplyMatchesDense) {
+  auto rng = rt::make_rng(65);
+  for (int t = 0; t < 5; ++t) {
+    const CVec x = rt::random_cvec(op_->cols(), rng);
+    rt::expect_vec_near(op_->apply(x), matvec(dense_, x), 1e-9, "apply");
+  }
+}
+
+TEST_F(KroneckerVsDense, AdjointMatchesDense) {
+  auto rng = rt::make_rng(66);
+  for (int t = 0; t < 5; ++t) {
+    const CVec y = rt::random_cvec(op_->rows(), rng);
+    rt::expect_vec_near(op_->apply_adjoint(y), matvec_adj(dense_, y), 1e-9,
+                        "adjoint");
+  }
+}
+
+TEST_F(KroneckerVsDense, RowGramMatchesDense) {
+  rt::expect_mat_near(op_->row_gram(), matmul(dense_, adjoint(dense_)), 1e-8,
+                      "gram");
+}
+
+TEST_F(KroneckerVsDense, SizeMismatchThrows) {
+  EXPECT_THROW(op_->apply(CVec(op_->cols() + 1)), std::invalid_argument);
+  EXPECT_THROW(op_->apply_adjoint(CVec(op_->rows() - 1)), std::invalid_argument);
+}
+
+TEST(Kronecker, GenericFactorsAgainstExplicitKroneckerProduct) {
+  auto rng = rt::make_rng(67);
+  const CMat left = rt::random_cmat(3, 4, rng);   // M x Nl
+  const CMat right = rt::random_cmat(5, 2, rng);  // L x Nr
+  const KroneckerOperator op(left, right);
+  // Explicit small Kronecker product, column (j * Nl + i), row (l * M + m).
+  CMat full(15, 8);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 4; ++i)
+      for (index_t l = 0; l < 5; ++l)
+        for (index_t m = 0; m < 3; ++m)
+          full(l * 3 + m, j * 4 + i) = right(l, j) * left(m, i);
+  const CVec x = rt::random_cvec(8, rng);
+  rt::expect_vec_near(op.apply(x), matvec(full, x), 1e-10, "generic apply");
+  const CVec y = rt::random_cvec(15, rng);
+  rt::expect_vec_near(op.apply_adjoint(y), matvec_adj(full, y), 1e-10,
+                      "generic adjoint");
+}
+
+}  // namespace
+}  // namespace roarray::sparse

@@ -1,0 +1,121 @@
+#include "sparse/prox.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace roarray::sparse {
+namespace {
+
+namespace rt = roarray::testing;
+
+TEST(SoftThreshold, ShrinksMagnitudePreservesPhase) {
+  CVec x{cxd{3.0, 4.0}};  // magnitude 5, phase atan2(4, 3)
+  const double phase_before = std::arg(x[0]);
+  soft_threshold_inplace(x, 2.0);
+  EXPECT_NEAR(std::abs(x[0]), 3.0, 1e-12);
+  EXPECT_NEAR(std::arg(x[0]), phase_before, 1e-12);
+}
+
+TEST(SoftThreshold, ZeroesSmallElements) {
+  CVec x{cxd{0.5, 0.0}, cxd{0.0, -0.9}, cxd{2.0, 0.0}};
+  soft_threshold_inplace(x, 1.0);
+  EXPECT_EQ(x[0], cxd{});
+  EXPECT_EQ(x[1], cxd{});
+  EXPECT_NEAR(std::abs(x[2] - cxd{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(SoftThreshold, ZeroThresholdIsIdentity) {
+  auto rng = rt::make_rng(71);
+  CVec x = rt::random_cvec(10, rng);
+  const CVec before = x;
+  soft_threshold_inplace(x, 0.0);
+  rt::expect_vec_near(x, before, 1e-15, "identity at t=0");
+}
+
+TEST(SoftThreshold, IsNonExpansive) {
+  // ||prox(x) - prox(y)|| <= ||x - y|| — the key property FISTA needs.
+  auto rng = rt::make_rng(72);
+  for (int trial = 0; trial < 20; ++trial) {
+    CVec x = rt::random_cvec(12, rng);
+    CVec y = rt::random_cvec(12, rng);
+    CVec diff_before = x;
+    diff_before -= y;
+    soft_threshold_inplace(x, 0.7);
+    soft_threshold_inplace(y, 0.7);
+    CVec diff_after = x;
+    diff_after -= y;
+    EXPECT_LE(norm2(diff_after), norm2(diff_before) + 1e-12);
+  }
+}
+
+TEST(SoftThreshold, MinimizesProxObjective) {
+  // prox_t(z) = argmin_x 1/2 ||x - z||^2 + t ||x||_1: the prox output must
+  // beat random perturbations of itself.
+  auto rng = rt::make_rng(73);
+  const CVec z = rt::random_cvec(6, rng);
+  CVec p = z;
+  const double t = 0.5;
+  soft_threshold_inplace(p, t);
+  auto objective = [&](const CVec& x) {
+    CVec d = x;
+    d -= z;
+    return 0.5 * norm2_sq(d) + t * norm1(x);
+  };
+  const double best = objective(p);
+  for (int trial = 0; trial < 50; ++trial) {
+    CVec cand = p;
+    CVec noise = rt::random_cvec(6, rng);
+    axpy(cxd{0.05, 0.0}, noise, cand);
+    EXPECT_GE(objective(cand), best - 1e-12);
+  }
+}
+
+TEST(GroupSoftThreshold, ZeroesWeakRowsKeepsStrong) {
+  CMat x(3, 2);
+  x(0, 0) = cxd{0.3, 0.0};
+  x(0, 1) = cxd{0.0, 0.4};  // row norm 0.5 < 1 -> zeroed
+  x(2, 0) = cxd{3.0, 0.0};
+  x(2, 1) = cxd{0.0, 4.0};  // row norm 5 -> shrunk to 4
+  group_soft_threshold_rows_inplace(x, 1.0);
+  EXPECT_EQ(x(0, 0), cxd{});
+  EXPECT_EQ(x(0, 1), cxd{});
+  double row2 = std::sqrt(std::norm(x(2, 0)) + std::norm(x(2, 1)));
+  EXPECT_NEAR(row2, 4.0, 1e-12);
+}
+
+TEST(GroupSoftThreshold, PreservesRowDirection) {
+  CMat x(1, 3);
+  x(0, 0) = cxd{1.0, 1.0};
+  x(0, 1) = cxd{-2.0, 0.5};
+  x(0, 2) = cxd{0.0, 3.0};
+  CMat before = x;
+  group_soft_threshold_rows_inplace(x, 0.5);
+  // Shrunk row must be a positive scalar multiple of the original.
+  const double scale = std::abs(x(0, 0)) / std::abs(before(0, 0));
+  for (index_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(std::abs(x(0, j) - before(0, j) * scale), 0.0, 1e-12);
+  }
+}
+
+TEST(GroupSoftThreshold, ReducesToVectorProxForSingleColumn) {
+  auto rng = rt::make_rng(74);
+  const CVec v = rt::random_cvec(8, rng);
+  CMat x(8, 1);
+  x.set_col(0, v);
+  group_soft_threshold_rows_inplace(x, 0.6);
+  CVec w = v;
+  soft_threshold_inplace(w, 0.6);
+  rt::expect_vec_near(x.col_vec(0), w, 1e-12, "single column");
+}
+
+TEST(NormL21, MatchesManualRowSum) {
+  CMat x(2, 2);
+  x(0, 0) = cxd{3.0, 0.0};
+  x(0, 1) = cxd{0.0, 4.0};  // row norm 5
+  x(1, 0) = cxd{1.0, 0.0};  // row norm 1
+  EXPECT_NEAR(norm_l21_rows(x), 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace roarray::sparse

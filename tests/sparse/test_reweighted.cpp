@@ -1,0 +1,110 @@
+#include "sparse/reweighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace roarray::sparse {
+namespace {
+
+namespace rt = roarray::testing;
+
+index_t count_above(const CVec& x, double level) {
+  index_t n = 0;
+  for (index_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i]) > level) ++n;
+  }
+  return n;
+}
+
+TEST(Reweighted, OneRoundEqualsPlainL1) {
+  auto rng = rt::make_rng(981);
+  const CMat s = rt::random_cmat(10, 40, rng);
+  const DenseOperator op(s);
+  const CVec y = rt::random_cvec(10, rng);
+  ReweightedConfig cfg;
+  cfg.rounds = 1;
+  cfg.inner.max_iterations = 2000;
+  cfg.inner.tolerance = 1e-11;
+  const ReweightedResult rw = solve_reweighted_l1(op, y, cfg);
+  const SolveResult plain = solve_l1(op, y, cfg.inner);
+  rt::expect_vec_near(rw.x, plain.x, 1e-10, "rounds=1 == plain l1");
+  EXPECT_DOUBLE_EQ(rw.kappa, plain.kappa);
+}
+
+TEST(Reweighted, SharpensSolutionOverRounds) {
+  // Reweighting suppresses the small "shadow" coefficients that plain
+  // l1 leaves around the true support.
+  // 16 x 40 keeps the dictionary coherence low enough that the planted
+  // 2-sparse representation is the identifiable one.
+  auto rng = rt::make_rng(982);
+  const CMat s = rt::random_cmat(16, 40, rng);
+  const DenseOperator op(s);
+  CVec x_true(40);
+  x_true[11] = cxd{1.5, 0.0};
+  x_true[37] = cxd{0.0, -1.0};
+  CVec y = op.apply(x_true);
+  const CVec noise = rt::random_cvec(16, rng);
+  axpy(cxd{0.05, 0.0}, noise, y);
+
+  ReweightedConfig one;
+  one.rounds = 1;
+  one.inner.max_iterations = 1500;
+  // Light regularization so the plain-l1 round keeps the full support
+  // (with shadow clutter); the reweighting rounds then clean it up.
+  one.inner.kappa_ratio = 0.04;
+  ReweightedConfig three = one;
+  three.rounds = 3;
+  const ReweightedResult r1 = solve_reweighted_l1(op, y, one);
+  const ReweightedResult r3 = solve_reweighted_l1(op, y, three);
+  // Count near-zero-but-not-zero clutter above 1% of the peak.
+  double peak1 = 0.0, peak3 = 0.0;
+  for (index_t i = 0; i < 40; ++i) {
+    peak1 = std::max(peak1, std::abs(r1.x[i]));
+    peak3 = std::max(peak3, std::abs(r3.x[i]));
+  }
+  EXPECT_LE(count_above(r3.x, 0.01 * peak3), count_above(r1.x, 0.01 * peak1));
+  // True support survives the reweighting.
+  EXPECT_GT(std::abs(r3.x[11]), 0.5);
+  EXPECT_GT(std::abs(r3.x[37]), 0.3);
+}
+
+TEST(Reweighted, TracksInnerIterationBudget) {
+  auto rng = rt::make_rng(983);
+  const CMat s = rt::random_cmat(8, 24, rng);
+  const DenseOperator op(s);
+  const CVec y = rt::random_cvec(8, rng);
+  ReweightedConfig cfg;
+  cfg.rounds = 3;
+  cfg.inner.max_iterations = 50;
+  cfg.inner.tolerance = 0.0;
+  const ReweightedResult r = solve_reweighted_l1(op, y, cfg);
+  EXPECT_EQ(r.total_inner_iterations, 150);
+}
+
+TEST(Reweighted, InvalidConfigThrows) {
+  const DenseOperator op(CMat(4, 8, cxd{1.0, 0.0}));
+  ReweightedConfig cfg;
+  cfg.rounds = 0;
+  EXPECT_THROW(solve_reweighted_l1(op, CVec(4), cfg), std::invalid_argument);
+  cfg = ReweightedConfig{};
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(solve_reweighted_l1(op, CVec(4), cfg), std::invalid_argument);
+}
+
+TEST(Reweighted, AllZeroSolutionShortCircuits) {
+  // Huge kappa: first round returns zero; later rounds must not divide
+  // by zero or crash.
+  auto rng = rt::make_rng(984);
+  const CMat s = rt::random_cmat(6, 20, rng);
+  const DenseOperator op(s);
+  const CVec y = rt::random_cvec(6, rng);
+  ReweightedConfig cfg;
+  cfg.rounds = 4;
+  cfg.inner.kappa = 1e9;
+  const ReweightedResult r = solve_reweighted_l1(op, y, cfg);
+  EXPECT_NEAR(norm2(r.x), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace roarray::sparse

@@ -1,0 +1,116 @@
+#include "eval/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace roarray::eval {
+namespace {
+
+namespace rt = roarray::testing;
+
+TEST(BootstrapCi, BracketsTheMedian) {
+  auto rng = rt::make_rng(1011);
+  std::normal_distribution<double> n(5.0, 1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(n(rng));
+  const ConfidenceInterval ci = bootstrap_median_ci(samples, rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  // 95% CI for the median of N(5,1) with n=200 is tight around 5.
+  EXPECT_NEAR(ci.point, 5.0, 0.3);
+  EXPECT_LT(ci.hi - ci.lo, 0.8);
+}
+
+TEST(BootstrapCi, WiderWithFewerSamples) {
+  auto rng = rt::make_rng(1012);
+  std::normal_distribution<double> n(0.0, 1.0);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(n(rng));
+  for (int i = 0; i < 500; ++i) large.push_back(n(rng));
+  const auto ci_small = bootstrap_median_ci(small, rng);
+  const auto ci_large = bootstrap_median_ci(large, rng);
+  EXPECT_GT(ci_small.hi - ci_small.lo, ci_large.hi - ci_large.lo);
+}
+
+TEST(BootstrapCi, HigherConfidenceIsWider) {
+  auto rng = rt::make_rng(1013);
+  std::normal_distribution<double> n(0.0, 1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 60; ++i) samples.push_back(n(rng));
+  auto rng_a = rt::make_rng(1);
+  auto rng_b = rt::make_rng(1);
+  const auto ci90 = bootstrap_median_ci(samples, rng_a, 0.90);
+  const auto ci99 = bootstrap_median_ci(samples, rng_b, 0.99);
+  EXPECT_GE(ci99.hi - ci99.lo, ci90.hi - ci90.lo);
+}
+
+TEST(BootstrapCi, InvalidInputsThrow) {
+  auto rng = rt::make_rng(1014);
+  std::vector<double> empty;
+  EXPECT_THROW(bootstrap_median_ci(empty, rng), std::invalid_argument);
+  std::vector<double> ok = {1.0, 2.0};
+  EXPECT_THROW(bootstrap_median_ci(ok, rng, 1.5), std::invalid_argument);
+  EXPECT_THROW(bootstrap_median_ci(ok, rng, 0.95, 2), std::invalid_argument);
+}
+
+TEST(BootstrapCi, DeterministicGivenSeed) {
+  std::vector<double> samples = {1.0, 3.0, 2.0, 5.0, 4.0, 6.0, 0.5};
+  auto rng_a = rt::make_rng(77);
+  auto rng_b = rt::make_rng(77);
+  const auto a = bootstrap_median_ci(samples, rng_a);
+  const auto b = bootstrap_median_ci(samples, rng_b);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(KsStatistic, IdenticalDistributionsGiveZero) {
+  const Cdf a({1.0, 2.0, 3.0});
+  const Cdf b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.0);
+}
+
+TEST(KsStatistic, DisjointSupportsGiveOne) {
+  const Cdf a({1.0, 2.0, 3.0});
+  const Cdf b({10.0, 11.0});
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(KsStatistic, SymmetricAndBounded) {
+  auto rng = rt::make_rng(1015);
+  std::normal_distribution<double> n1(0.0, 1.0), n2(0.5, 1.5);
+  std::vector<double> s1, s2;
+  for (int i = 0; i < 100; ++i) {
+    s1.push_back(n1(rng));
+    s2.push_back(n2(rng));
+  }
+  const Cdf a(s1), b(s2);
+  const double d_ab = ks_statistic(a, b);
+  EXPECT_DOUBLE_EQ(d_ab, ks_statistic(b, a));
+  EXPECT_GT(d_ab, 0.0);
+  EXPECT_LE(d_ab, 1.0);
+}
+
+TEST(KsStatistic, GrowsWithDistributionShift) {
+  auto rng = rt::make_rng(1016);
+  std::normal_distribution<double> base(0.0, 1.0);
+  std::vector<double> s0;
+  for (int i = 0; i < 300; ++i) s0.push_back(base(rng));
+  const Cdf a(s0);
+  double prev = 0.0;
+  for (double shift : {0.3, 1.0, 3.0}) {
+    std::vector<double> s;
+    for (double v : s0) s.push_back(v + shift);
+    const double d = ks_statistic(a, Cdf(s));
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(KsStatistic, EmptyThrows) {
+  const Cdf a({1.0});
+  EXPECT_THROW(ks_statistic(a, Cdf{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roarray::eval
