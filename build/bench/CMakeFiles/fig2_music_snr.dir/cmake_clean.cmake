@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_music_snr.dir/fig2_music_snr.cpp.o"
+  "CMakeFiles/fig2_music_snr.dir/fig2_music_snr.cpp.o.d"
+  "fig2_music_snr"
+  "fig2_music_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_music_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

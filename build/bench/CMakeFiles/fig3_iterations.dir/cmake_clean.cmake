@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_iterations.dir/fig3_iterations.cpp.o"
+  "CMakeFiles/fig3_iterations.dir/fig3_iterations.cpp.o.d"
+  "fig3_iterations"
+  "fig3_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_aoa_cdf.dir/fig7_aoa_cdf.cpp.o"
+  "CMakeFiles/fig7_aoa_cdf.dir/fig7_aoa_cdf.cpp.o.d"
+  "fig7_aoa_cdf"
+  "fig7_aoa_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_aoa_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_num_aps.dir/fig8a_num_aps.cpp.o"
+  "CMakeFiles/fig8a_num_aps.dir/fig8a_num_aps.cpp.o.d"
+  "fig8a_num_aps"
+  "fig8a_num_aps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_num_aps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

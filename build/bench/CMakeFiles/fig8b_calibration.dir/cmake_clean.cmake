@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_calibration.dir/fig8b_calibration.cpp.o"
+  "CMakeFiles/fig8b_calibration.dir/fig8b_calibration.cpp.o.d"
+  "fig8b_calibration"
+  "fig8b_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_polarization.dir/fig8c_polarization.cpp.o"
+  "CMakeFiles/fig8c_polarization.dir/fig8c_polarization.cpp.o.d"
+  "fig8c_polarization"
+  "fig8c_polarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_polarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/roarray_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/roarray_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/music/CMakeFiles/roarray_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/roarray_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roarray_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loc/CMakeFiles/roarray_loc.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/roarray_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/roarray_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/roarray_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roarray_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_bench_common.dir/common.cpp.o"
+  "CMakeFiles/roarray_bench_common.dir/common.cpp.o.d"
+  "libroarray_bench_common.a"
+  "libroarray_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_inspector.dir/channel_inspector.cpp.o"
+  "CMakeFiles/channel_inspector.dir/channel_inspector.cpp.o.d"
+  "channel_inspector"
+  "channel_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_snr_localization.dir/low_snr_localization.cpp.o"
+  "CMakeFiles/low_snr_localization.dir/low_snr_localization.cpp.o.d"
+  "low_snr_localization"
+  "low_snr_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_snr_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_packet_fusion.dir/multi_packet_fusion.cpp.o"
+  "CMakeFiles/multi_packet_fusion.dir/multi_packet_fusion.cpp.o.d"
+  "multi_packet_fusion"
+  "multi_packet_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_packet_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_calibration.dir/phase_calibration.cpp.o"
+  "CMakeFiles/phase_calibration.dir/phase_calibration.cpp.o.d"
+  "phase_calibration"
+  "phase_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

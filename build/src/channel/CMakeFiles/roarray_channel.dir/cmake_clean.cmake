@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_channel.dir/csi.cpp.o"
+  "CMakeFiles/roarray_channel.dir/csi.cpp.o.d"
+  "CMakeFiles/roarray_channel.dir/multipath.cpp.o"
+  "CMakeFiles/roarray_channel.dir/multipath.cpp.o.d"
+  "libroarray_channel.a"
+  "libroarray_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/roarray_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/roarray_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/roarray.cpp" "src/core/CMakeFiles/roarray_core.dir/roarray.cpp.o" "gcc" "src/core/CMakeFiles/roarray_core.dir/roarray.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/roarray_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/roarray_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/roarray_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/music/CMakeFiles/roarray_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/roarray_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roarray_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

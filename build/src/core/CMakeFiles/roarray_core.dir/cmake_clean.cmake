@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_core.dir/calibration.cpp.o"
+  "CMakeFiles/roarray_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/roarray_core.dir/roarray.cpp.o"
+  "CMakeFiles/roarray_core.dir/roarray.cpp.o.d"
+  "CMakeFiles/roarray_core.dir/tracker.cpp.o"
+  "CMakeFiles/roarray_core.dir/tracker.cpp.o.d"
+  "libroarray_core.a"
+  "libroarray_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

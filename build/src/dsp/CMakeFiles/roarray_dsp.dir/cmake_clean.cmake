@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_dsp.dir/fft.cpp.o"
+  "CMakeFiles/roarray_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/roarray_dsp.dir/sanitize.cpp.o"
+  "CMakeFiles/roarray_dsp.dir/sanitize.cpp.o.d"
+  "CMakeFiles/roarray_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/roarray_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/roarray_dsp.dir/steering.cpp.o"
+  "CMakeFiles/roarray_dsp.dir/steering.cpp.o.d"
+  "libroarray_dsp.a"
+  "libroarray_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cdf.cpp" "src/eval/CMakeFiles/roarray_eval.dir/cdf.cpp.o" "gcc" "src/eval/CMakeFiles/roarray_eval.dir/cdf.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/roarray_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/roarray_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/stats.cpp" "src/eval/CMakeFiles/roarray_eval.dir/stats.cpp.o" "gcc" "src/eval/CMakeFiles/roarray_eval.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/roarray_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

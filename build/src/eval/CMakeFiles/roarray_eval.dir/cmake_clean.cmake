@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_eval.dir/cdf.cpp.o"
+  "CMakeFiles/roarray_eval.dir/cdf.cpp.o.d"
+  "CMakeFiles/roarray_eval.dir/report.cpp.o"
+  "CMakeFiles/roarray_eval.dir/report.cpp.o.d"
+  "CMakeFiles/roarray_eval.dir/stats.cpp.o"
+  "CMakeFiles/roarray_eval.dir/stats.cpp.o.d"
+  "libroarray_eval.a"
+  "libroarray_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

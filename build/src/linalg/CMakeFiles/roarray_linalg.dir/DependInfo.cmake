@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/roarray_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/roarray_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/eig.cpp" "src/linalg/CMakeFiles/roarray_linalg.dir/eig.cpp.o" "gcc" "src/linalg/CMakeFiles/roarray_linalg.dir/eig.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/roarray_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/roarray_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/roarray_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/roarray_linalg.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/roarray_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/roarray_linalg.dir/eig.cpp.o"
+  "CMakeFiles/roarray_linalg.dir/eig.cpp.o.d"
+  "CMakeFiles/roarray_linalg.dir/qr.cpp.o"
+  "CMakeFiles/roarray_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/roarray_linalg.dir/svd.cpp.o"
+  "CMakeFiles/roarray_linalg.dir/svd.cpp.o.d"
+  "libroarray_linalg.a"
+  "libroarray_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_loc.dir/localize.cpp.o"
+  "CMakeFiles/roarray_loc.dir/localize.cpp.o.d"
+  "libroarray_loc.a"
+  "libroarray_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/music/arraytrack.cpp" "src/music/CMakeFiles/roarray_music.dir/arraytrack.cpp.o" "gcc" "src/music/CMakeFiles/roarray_music.dir/arraytrack.cpp.o.d"
+  "/root/repo/src/music/cluster.cpp" "src/music/CMakeFiles/roarray_music.dir/cluster.cpp.o" "gcc" "src/music/CMakeFiles/roarray_music.dir/cluster.cpp.o.d"
+  "/root/repo/src/music/covariance.cpp" "src/music/CMakeFiles/roarray_music.dir/covariance.cpp.o" "gcc" "src/music/CMakeFiles/roarray_music.dir/covariance.cpp.o.d"
+  "/root/repo/src/music/model_order.cpp" "src/music/CMakeFiles/roarray_music.dir/model_order.cpp.o" "gcc" "src/music/CMakeFiles/roarray_music.dir/model_order.cpp.o.d"
+  "/root/repo/src/music/music.cpp" "src/music/CMakeFiles/roarray_music.dir/music.cpp.o" "gcc" "src/music/CMakeFiles/roarray_music.dir/music.cpp.o.d"
+  "/root/repo/src/music/smoothing.cpp" "src/music/CMakeFiles/roarray_music.dir/smoothing.cpp.o" "gcc" "src/music/CMakeFiles/roarray_music.dir/smoothing.cpp.o.d"
+  "/root/repo/src/music/spotfi.cpp" "src/music/CMakeFiles/roarray_music.dir/spotfi.cpp.o" "gcc" "src/music/CMakeFiles/roarray_music.dir/spotfi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/roarray_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roarray_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_music.dir/arraytrack.cpp.o"
+  "CMakeFiles/roarray_music.dir/arraytrack.cpp.o.d"
+  "CMakeFiles/roarray_music.dir/cluster.cpp.o"
+  "CMakeFiles/roarray_music.dir/cluster.cpp.o.d"
+  "CMakeFiles/roarray_music.dir/covariance.cpp.o"
+  "CMakeFiles/roarray_music.dir/covariance.cpp.o.d"
+  "CMakeFiles/roarray_music.dir/model_order.cpp.o"
+  "CMakeFiles/roarray_music.dir/model_order.cpp.o.d"
+  "CMakeFiles/roarray_music.dir/music.cpp.o"
+  "CMakeFiles/roarray_music.dir/music.cpp.o.d"
+  "CMakeFiles/roarray_music.dir/smoothing.cpp.o"
+  "CMakeFiles/roarray_music.dir/smoothing.cpp.o.d"
+  "CMakeFiles/roarray_music.dir/spotfi.cpp.o"
+  "CMakeFiles/roarray_music.dir/spotfi.cpp.o.d"
+  "libroarray_music.a"
+  "libroarray_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/roarray_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/roarray_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/sim/CMakeFiles/roarray_sim.dir/testbed.cpp.o" "gcc" "src/sim/CMakeFiles/roarray_sim.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/roarray_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/roarray_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roarray_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_sim.dir/scenario.cpp.o"
+  "CMakeFiles/roarray_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/roarray_sim.dir/testbed.cpp.o"
+  "CMakeFiles/roarray_sim.dir/testbed.cpp.o.d"
+  "libroarray_sim.a"
+  "libroarray_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/admm.cpp" "src/sparse/CMakeFiles/roarray_sparse.dir/admm.cpp.o" "gcc" "src/sparse/CMakeFiles/roarray_sparse.dir/admm.cpp.o.d"
+  "/root/repo/src/sparse/fista.cpp" "src/sparse/CMakeFiles/roarray_sparse.dir/fista.cpp.o" "gcc" "src/sparse/CMakeFiles/roarray_sparse.dir/fista.cpp.o.d"
+  "/root/repo/src/sparse/l1svd.cpp" "src/sparse/CMakeFiles/roarray_sparse.dir/l1svd.cpp.o" "gcc" "src/sparse/CMakeFiles/roarray_sparse.dir/l1svd.cpp.o.d"
+  "/root/repo/src/sparse/omp.cpp" "src/sparse/CMakeFiles/roarray_sparse.dir/omp.cpp.o" "gcc" "src/sparse/CMakeFiles/roarray_sparse.dir/omp.cpp.o.d"
+  "/root/repo/src/sparse/operator.cpp" "src/sparse/CMakeFiles/roarray_sparse.dir/operator.cpp.o" "gcc" "src/sparse/CMakeFiles/roarray_sparse.dir/operator.cpp.o.d"
+  "/root/repo/src/sparse/power.cpp" "src/sparse/CMakeFiles/roarray_sparse.dir/power.cpp.o" "gcc" "src/sparse/CMakeFiles/roarray_sparse.dir/power.cpp.o.d"
+  "/root/repo/src/sparse/reweighted.cpp" "src/sparse/CMakeFiles/roarray_sparse.dir/reweighted.cpp.o" "gcc" "src/sparse/CMakeFiles/roarray_sparse.dir/reweighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/roarray_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

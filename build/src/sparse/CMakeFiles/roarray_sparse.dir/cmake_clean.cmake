@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roarray_sparse.dir/admm.cpp.o"
+  "CMakeFiles/roarray_sparse.dir/admm.cpp.o.d"
+  "CMakeFiles/roarray_sparse.dir/fista.cpp.o"
+  "CMakeFiles/roarray_sparse.dir/fista.cpp.o.d"
+  "CMakeFiles/roarray_sparse.dir/l1svd.cpp.o"
+  "CMakeFiles/roarray_sparse.dir/l1svd.cpp.o.d"
+  "CMakeFiles/roarray_sparse.dir/omp.cpp.o"
+  "CMakeFiles/roarray_sparse.dir/omp.cpp.o.d"
+  "CMakeFiles/roarray_sparse.dir/operator.cpp.o"
+  "CMakeFiles/roarray_sparse.dir/operator.cpp.o.d"
+  "CMakeFiles/roarray_sparse.dir/power.cpp.o"
+  "CMakeFiles/roarray_sparse.dir/power.cpp.o.d"
+  "CMakeFiles/roarray_sparse.dir/reweighted.cpp.o"
+  "CMakeFiles/roarray_sparse.dir/reweighted.cpp.o.d"
+  "libroarray_sparse.a"
+  "libroarray_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roarray_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroarray_sparse.a"
+)

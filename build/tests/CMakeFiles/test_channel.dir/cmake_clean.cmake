@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel.dir/channel/test_csi.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_csi.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_geometry.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_geometry.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_impairments.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_impairments.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_multipath.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_multipath.cpp.o.d"
+  "test_channel"
+  "test_channel.pdb"
+  "test_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_calibration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fusion.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fusion.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_generality.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_generality.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_roarray.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_roarray.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tracker.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tracker.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

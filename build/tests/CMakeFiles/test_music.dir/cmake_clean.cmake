@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_music.dir/music/test_baselines.cpp.o"
+  "CMakeFiles/test_music.dir/music/test_baselines.cpp.o.d"
+  "CMakeFiles/test_music.dir/music/test_cluster.cpp.o"
+  "CMakeFiles/test_music.dir/music/test_cluster.cpp.o.d"
+  "CMakeFiles/test_music.dir/music/test_covariance.cpp.o"
+  "CMakeFiles/test_music.dir/music/test_covariance.cpp.o.d"
+  "CMakeFiles/test_music.dir/music/test_model_order.cpp.o"
+  "CMakeFiles/test_music.dir/music/test_model_order.cpp.o.d"
+  "CMakeFiles/test_music.dir/music/test_music.cpp.o"
+  "CMakeFiles/test_music.dir/music/test_music.cpp.o.d"
+  "CMakeFiles/test_music.dir/music/test_smoothing.cpp.o"
+  "CMakeFiles/test_music.dir/music/test_smoothing.cpp.o.d"
+  "test_music"
+  "test_music.pdb"
+  "test_music[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

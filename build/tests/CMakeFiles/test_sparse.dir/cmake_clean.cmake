@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse.dir/sparse/test_l1svd.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_l1svd.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_omp.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_omp.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_operator.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_operator.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_prox.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_prox.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_reweighted.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_reweighted.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_solver_properties.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_solver_properties.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_solvers.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_solvers.cpp.o.d"
+  "test_sparse"
+  "test_sparse.pdb"
+  "test_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

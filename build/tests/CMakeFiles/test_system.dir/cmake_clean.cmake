@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/system/test_end_to_end.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_eval.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_eval.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_failure_injection.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_localize.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_localize.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_sim.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_sim.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_stats.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_stats.cpp.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
