@@ -25,8 +25,11 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (std::strcmp(argv[i], "--strict-baselines") == 0) {
       opts.strict_baselines = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opts.threads = std::atoi(need_value("--threads"));
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("options: --locations N --packets P --seed S --strict-baselines\n");
+      std::printf("options: --locations N --packets P --seed S "
+                  "--strict-baselines --threads T\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
@@ -37,7 +40,21 @@ BenchOptions parse_options(int argc, char** argv) {
     std::fprintf(stderr, "locations and packets must be >= 1\n");
     std::exit(2);
   }
+  if (opts.threads < 0) {
+    std::fprintf(stderr, "threads must be >= 0\n");
+    std::exit(2);
+  }
   return opts;
+}
+
+std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t index) {
+  // splitmix64 finalizer: decorrelates adjacent (seed, index) pairs so
+  // per-location streams don't overlap.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 const char* system_name(System s) {
@@ -51,13 +68,13 @@ const char* system_name(System s) {
 
 bool estimate_direct_aoa(System system, const sim::ApMeasurement& m,
                          const dsp::ArrayConfig& array_cfg, double& aoa_deg,
-                         bool strict) {
+                         bool strict, const runtime::EstimateContext& ctx) {
   switch (system) {
     case System::kRoArray: {
       core::RoArrayConfig cfg;
       cfg.solver.max_iterations = 300;
       const core::RoArrayResult r =
-          core::roarray_estimate(m.burst.csi, cfg, array_cfg);
+          core::roarray_estimate(m.burst.csi, cfg, array_cfg, ctx);
       if (!r.valid) return false;
       aoa_deg = r.direct.aoa_deg;
       return true;
@@ -91,9 +108,9 @@ std::vector<SystemErrors> run_band(const sim::Testbed& testbed,
                                    const std::vector<sim::Vec2>& clients,
                                    sim::SnrBand band,
                                    const std::vector<System>& systems,
-                                   const BenchOptions& opts) {
-  std::vector<SystemErrors> out(systems.size());
-  std::mt19937_64 rng(opts.seed ^ (static_cast<std::uint64_t>(band) << 32));
+                                   const BenchOptions& opts, BenchRuntime* rt) {
+  const std::uint64_t band_seed =
+      opts.seed ^ (static_cast<std::uint64_t>(band) << 32);
 
   loc::LocalizeConfig lcfg;
   lcfg.room = testbed.room;
@@ -102,25 +119,55 @@ std::vector<SystemErrors> run_band(const sim::Testbed& testbed,
   sim::ScenarioConfig scfg = sim::scenario_for_band(band);
   scfg.num_packets = opts.packets;
 
-  for (const sim::Vec2& client : clients) {
-    const auto ms = sim::generate_measurements(testbed, client, scfg, rng);
+  const runtime::EstimateContext ctx =
+      rt != nullptr ? rt->context() : runtime::EstimateContext{};
+
+  // One slot per location; slots are written independently and merged
+  // in location order below, so the output does not depend on how the
+  // locations were scheduled.
+  std::vector<std::vector<SystemErrors>> per_loc(
+      clients.size(), std::vector<SystemErrors>(systems.size()));
+  auto run_location = [&](index_t li) {
+    const auto l = static_cast<std::size_t>(li);
+    std::mt19937_64 rng(trial_seed(band_seed, static_cast<std::uint64_t>(li)));
+    const auto ms = sim::generate_measurements(testbed, clients[l], scfg, rng);
     for (std::size_t s = 0; s < systems.size(); ++s) {
       std::vector<loc::ApObservation> obs;
       for (const sim::ApMeasurement& m : ms) {
         double aoa = 0.0;
         if (!estimate_direct_aoa(systems[s], m, scfg.array, aoa,
-                                 opts.strict_baselines)) {
+                                 opts.strict_baselines, ctx)) {
           continue;
         }
-        out[s].aoa_deg.push_back(
+        per_loc[l][s].aoa_deg.push_back(
             dsp::angle_diff_deg(aoa, m.true_direct_aoa_deg));
         obs.push_back({m.pose, aoa, m.rssi_weight});
       }
-      const loc::LocalizeResult fix = loc::localize(obs, lcfg);
+      const loc::LocalizeResult fix = loc::localize(obs, lcfg, ctx.pool);
       if (fix.valid) {
-        out[s].localization_m.push_back(
-            channel::distance(fix.position, client));
+        per_loc[l][s].localization_m.push_back(
+            channel::distance(fix.position, clients[l]));
       }
+    }
+  };
+
+  const auto n = static_cast<index_t>(clients.size());
+  if (ctx.pool != nullptr) {
+    ctx.pool->parallel_for(n, run_location);
+  } else {
+    for (index_t li = 0; li < n; ++li) run_location(li);
+  }
+
+  std::vector<SystemErrors> out(systems.size());
+  for (std::size_t l = 0; l < clients.size(); ++l) {
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+      auto& dst = out[s];
+      const auto& src = per_loc[l][s];
+      dst.aoa_deg.insert(dst.aoa_deg.end(), src.aoa_deg.begin(),
+                         src.aoa_deg.end());
+      dst.localization_m.insert(dst.localization_m.end(),
+                                src.localization_m.begin(),
+                                src.localization_m.end());
     }
   }
   return out;

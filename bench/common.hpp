@@ -10,6 +10,9 @@
 #include "loc/localize.hpp"
 #include "music/arraytrack.hpp"
 #include "music/spotfi.hpp"
+#include "runtime/context.hpp"
+#include "runtime/operator_cache.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/scenario.hpp"
 #include "sim/testbed.hpp"
 
@@ -28,11 +31,35 @@ struct BenchOptions {
   /// with fixed K = 5, no candidate gating) instead of the strengthened
   /// defaults this library ships.
   bool strict_baselines = false;
+  /// Worker threads for the trial loops; 0 = auto (ROARRAY_THREADS env
+  /// var, else hardware concurrency). Results are identical at any
+  /// thread count: every location draws from its own seeded RNG stream
+  /// and per-location results are merged in location order.
+  int threads = 0;
 };
 
-/// Parses --locations N / --packets P / --seed S / --strict-baselines;
-/// exits on bad input.
+/// Parses --locations N / --packets P / --seed S / --strict-baselines /
+/// --threads T; exits on bad input.
 [[nodiscard]] BenchOptions parse_options(int argc, char** argv);
+
+/// Thread pool + steering-operator cache shared across a bench run.
+/// Construct one per process and pass it to run_band / the per-location
+/// loops so every ROArray solve reuses the same cached operator.
+struct BenchRuntime {
+  runtime::OperatorCache cache;
+  runtime::ThreadPool pool;
+
+  explicit BenchRuntime(const BenchOptions& opts)
+      : pool(opts.threads > 0 ? opts.threads
+                              : runtime::ThreadPool::default_thread_count()) {}
+
+  [[nodiscard]] runtime::EstimateContext context() { return {&cache, &pool}; }
+};
+
+/// Deterministic per-trial RNG stream: splitmix64 of (seed, index).
+/// Gives every location an independent stream so trials can run in any
+/// order (or concurrently) without changing the drawn values.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t index);
 
 /// Which estimator to run.
 enum class System { kRoArray, kSpotfi, kArrayTrack };
@@ -47,18 +74,23 @@ struct SystemErrors {
 
 /// Estimates the direct-path AoA with the given system. Returns false
 /// if the estimator produced nothing usable. `strict` selects the
-/// historical baseline configuration (see BenchOptions).
+/// historical baseline configuration (see BenchOptions). `ctx` lets the
+/// ROArray path reuse a cached steering operator.
 [[nodiscard]] bool estimate_direct_aoa(System system,
                                        const sim::ApMeasurement& m,
                                        const dsp::ArrayConfig& array_cfg,
-                                       double& aoa_deg, bool strict = false);
+                                       double& aoa_deg, bool strict = false,
+                                       const runtime::EstimateContext& ctx = {});
 
 /// Runs `systems` over every location at the given SNR band and collects
-/// localization + AoA errors. One deterministic RNG stream per call.
+/// localization + AoA errors. Each location uses its own deterministic
+/// RNG stream (trial_seed of the band seed and location index), and
+/// locations fan out over rt's pool when one is given — the merged
+/// output is identical at any thread count.
 [[nodiscard]] std::vector<SystemErrors> run_band(
     const sim::Testbed& testbed, const std::vector<sim::Vec2>& clients,
     sim::SnrBand band, const std::vector<System>& systems,
-    const BenchOptions& opts);
+    const BenchOptions& opts, BenchRuntime* rt = nullptr);
 
 /// The three-band fractions used by every CDF table.
 [[nodiscard]] std::vector<double> cdf_fractions();

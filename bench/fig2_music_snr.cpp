@@ -51,53 +51,75 @@ double beamwidth_deg(const dsp::Spectrum1d& spec, double half_level = 0.5) {
 
 }  // namespace
 
+/// Everything one SNR point contributes to the printout; computed on
+/// the pool, printed in SNR order afterwards.
+struct SnrCase {
+  double snr = 0.0;
+  double music_aoa_deg = 0.0;
+  double music_width_deg = 0.0;
+  double ro_aoa_deg = 0.0;
+  bool ro_valid = false;
+  std::vector<double> music_xs, music_ys;
+};
+
 int main(int argc, char** argv) {
   const auto opts = bench::parse_options(argc, argv);
   const dsp::ArrayConfig arr;
   const auto paths = figure2_channel();
+  bench::BenchRuntime rt(opts);
+  const runtime::EstimateContext ctx = rt.context();
 
   std::printf("Figure 2 reproduction: AoA spectra vs SNR (true LoS at 150 deg)\n");
   std::printf("paper shape: sharp+accurate at 18/7 dB, ~12 deg off at 2 dB, "
               "broken below 0 dB\n\n");
 
-  const double snrs[] = {18.0, 7.0, 2.0, -3.0};
-  for (double snr : snrs) {
-    std::mt19937_64 rng(opts.seed);
-    channel::BurstConfig bc;
-    bc.num_packets = opts.packets;
-    bc.snr_db = snr;
-    bc.path_phase_jitter_rad = 0.3;
-    const auto burst = channel::generate_burst(paths, arr, bc, rng);
+  const std::vector<double> snrs = {18.0, 7.0, 2.0, -3.0};
+  const auto cases = rt.pool.map<SnrCase>(
+      static_cast<index_t>(snrs.size()), [&](index_t i) {
+        const double snr = snrs[static_cast<std::size_t>(i)];
+        std::mt19937_64 rng(opts.seed);
+        channel::BurstConfig bc;
+        bc.num_packets = opts.packets;
+        bc.snr_db = snr;
+        bc.path_phase_jitter_rad = 0.3;
+        const auto burst = channel::generate_burst(paths, arr, bc, rng);
 
-    // SpotFi / MUSIC AoA spectrum (joint spectrum marginalized over ToA).
-    const music::SpotfiResult sf =
-        music::spotfi_estimate(burst.csi, music::SpotfiConfig{}, arr, true);
-    dsp::Spectrum1d music_spec = sf.first_packet_spectrum.aoa_marginal();
-    music_spec.normalize();
+        // SpotFi / MUSIC AoA spectrum (joint, marginalized over ToA).
+        const music::SpotfiResult sf =
+            music::spotfi_estimate(burst.csi, music::SpotfiConfig{}, arr, true);
+        dsp::Spectrum1d music_spec = sf.first_packet_spectrum.aoa_marginal();
+        music_spec.normalize();
 
-    // ROArray sparse spectrum over the same burst.
-    core::RoArrayConfig rcfg;
-    rcfg.solver.max_iterations = 300;
-    const core::RoArrayResult ro = core::roarray_estimate(burst.csi, rcfg, arr);
-    dsp::Spectrum1d ro_spec = ro.spectrum.aoa_marginal();
-    ro_spec.normalize();
+        // ROArray sparse spectrum over the same burst.
+        core::RoArrayConfig rcfg;
+        rcfg.solver.max_iterations = 300;
+        const core::RoArrayResult ro =
+            core::roarray_estimate(burst.csi, rcfg, arr, ctx);
 
-    std::printf("== SNR %.0f dB ==\n", snr);
+        SnrCase out;
+        out.snr = snr;
+        out.music_aoa_deg = sf.direct_aoa_deg;
+        out.music_width_deg = beamwidth_deg(music_spec);
+        out.ro_aoa_deg = ro.direct.aoa_deg;
+        out.ro_valid = ro.valid;
+        for (index_t k = 0; k < music_spec.values.size(); ++k) {
+          out.music_xs.push_back(music_spec.grid[k]);
+          out.music_ys.push_back(music_spec.values[k]);
+        }
+        return out;
+      });
+
+  for (const SnrCase& c : cases) {
+    std::printf("== SNR %.0f dB ==\n", c.snr);
     std::printf("  MUSIC/SpotFi: direct-path est %.1f deg (err %.1f), "
                 "half-power width %.1f deg\n",
-                sf.direct_aoa_deg,
-                dsp::angle_diff_deg(sf.direct_aoa_deg, 150.0),
-                beamwidth_deg(music_spec));
+                c.music_aoa_deg, dsp::angle_diff_deg(c.music_aoa_deg, 150.0),
+                c.music_width_deg);
     std::printf("  ROArray:      est %.1f deg (err %.1f), direct-path pick %s\n",
-                ro.direct.aoa_deg, dsp::angle_diff_deg(ro.direct.aoa_deg, 150.0),
-                ro.valid ? "valid" : "invalid");
+                c.ro_aoa_deg, dsp::angle_diff_deg(c.ro_aoa_deg, 150.0),
+                c.ro_valid ? "valid" : "invalid");
     std::printf("  MUSIC spectrum sketch (0..180 deg):\n");
-    std::vector<double> xs, ys;
-    for (index_t i = 0; i < music_spec.values.size(); ++i) {
-      xs.push_back(music_spec.grid[i]);
-      ys.push_back(music_spec.values[i]);
-    }
-    eval::print_spectrum_sketch(std::cout, xs, ys, 6);
+    eval::print_spectrum_sketch(std::cout, c.music_xs, c.music_ys, 6);
     std::printf("\n");
   }
   return 0;

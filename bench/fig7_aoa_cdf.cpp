@@ -24,16 +24,18 @@ int main(int argc, char** argv) {
   const std::vector<bench::System> systems = {bench::System::kRoArray,
                                               bench::System::kSpotfi,
                                               bench::System::kArrayTrack};
+  bench::BenchRuntime rt(opts);
 
   std::printf("Figure 7 reproduction: direct-path AoA error CDFs "
-              "(%lld locations x 6 APs per band, %lld packets)\n\n",
+              "(%lld locations x 6 APs per band, %lld packets, "
+              "%d threads)\n\n",
               static_cast<long long>(opts.locations),
-              static_cast<long long>(opts.packets));
+              static_cast<long long>(opts.packets), rt.pool.threads());
 
   const sim::SnrBand bands[] = {sim::SnrBand::kHigh, sim::SnrBand::kMedium,
                                 sim::SnrBand::kLow};
   for (sim::SnrBand band : bands) {
-    const auto errs = bench::run_band(tb, clients, band, systems, opts);
+    const auto errs = bench::run_band(tb, clients, band, systems, opts, &rt);
     std::vector<eval::NamedCdf> curves;
     for (std::size_t s = 0; s < systems.size(); ++s) {
       curves.push_back(

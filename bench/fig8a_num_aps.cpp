@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   std::mt19937_64 rng(opts.seed);
   const auto clients =
       sim::sample_client_locations(opts.locations, tb.room, rng);
+  bench::BenchRuntime rt(opts);
+  const runtime::EstimateContext ctx = rt.context();
 
   sim::ScenarioConfig scfg;
   scfg.num_packets = opts.packets;
@@ -29,33 +31,48 @@ int main(int argc, char** argv) {
   lcfg.grid_step_m = 0.1;
 
   std::printf("Figure 8a reproduction: ROArray accuracy vs number of APs "
-              "(%lld locations, medium SNR)\n\n",
-              static_cast<long long>(opts.locations));
+              "(%lld locations, medium SNR, %d threads)\n\n",
+              static_cast<long long>(opts.locations), rt.pool.threads());
 
   const std::vector<linalg::index_t> ap_counts = {3, 4, 5};
-  std::vector<std::vector<double>> errors(ap_counts.size());
 
-  for (const sim::Vec2& client : clients) {
-    const auto ms = sim::generate_measurements(tb, client, scfg, rng);
-    // Estimate all 6 AP AoAs once, reuse across subset sizes.
-    std::vector<loc::ApObservation> all_obs;
-    for (const sim::ApMeasurement& m : ms) {
-      double aoa = 0.0;
-      if (!bench::estimate_direct_aoa(bench::System::kRoArray, m, scfg.array,
-                                      aoa)) {
-        continue;
-      }
-      all_obs.push_back({m.pose, aoa, m.rssi_weight});
-    }
+  // errors for one location, one slot per AP count; merged in location
+  // order below so the CDFs are thread-count independent.
+  using LocationErrors = std::vector<std::vector<double>>;
+  const auto per_loc = rt.pool.map<LocationErrors>(
+      static_cast<linalg::index_t>(clients.size()), [&](linalg::index_t li) {
+        const sim::Vec2& client = clients[static_cast<std::size_t>(li)];
+        std::mt19937_64 loc_rng(
+            bench::trial_seed(opts.seed, static_cast<std::uint64_t>(li)));
+        const auto ms = sim::generate_measurements(tb, client, scfg, loc_rng);
+        // Estimate all 6 AP AoAs once, reuse across subset sizes.
+        std::vector<loc::ApObservation> all_obs;
+        for (const sim::ApMeasurement& m : ms) {
+          double aoa = 0.0;
+          if (!bench::estimate_direct_aoa(bench::System::kRoArray, m,
+                                          scfg.array, aoa, false, ctx)) {
+            continue;
+          }
+          all_obs.push_back({m.pose, aoa, m.rssi_weight});
+        }
+        LocationErrors errs(ap_counts.size());
+        for (std::size_t c = 0; c < ap_counts.size(); ++c) {
+          const auto n = static_cast<std::size_t>(ap_counts[c]);
+          if (all_obs.size() < n) continue;
+          const std::vector<loc::ApObservation> subset(all_obs.begin(),
+                                                       all_obs.begin() + n);
+          const loc::LocalizeResult fix = loc::localize(subset, lcfg, ctx.pool);
+          if (fix.valid) {
+            errs[c].push_back(channel::distance(fix.position, client));
+          }
+        }
+        return errs;
+      });
+
+  std::vector<std::vector<double>> errors(ap_counts.size());
+  for (const LocationErrors& le : per_loc) {
     for (std::size_t c = 0; c < ap_counts.size(); ++c) {
-      const auto n = static_cast<std::size_t>(ap_counts[c]);
-      if (all_obs.size() < n) continue;
-      const std::vector<loc::ApObservation> subset(all_obs.begin(),
-                                                   all_obs.begin() + n);
-      const loc::LocalizeResult fix = loc::localize(subset, lcfg);
-      if (fix.valid) {
-        errors[c].push_back(channel::distance(fix.position, client));
-      }
+      errors[c].insert(errors[c].end(), le[c].begin(), le[c].end());
     }
   }
 

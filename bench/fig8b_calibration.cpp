@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
 
   const sim::Testbed tb = sim::make_paper_testbed();
   std::mt19937_64 rng(opts.seed);
+  bench::BenchRuntime rt(opts);
+  const runtime::EstimateContext ctx = rt.context();
 
   // Static per-antenna phase offsets, fixed for the whole experiment
   // (these appear whenever the AP changes channel).
@@ -83,34 +85,49 @@ int main(int argc, char** argv) {
 
   const Scheme schemes[] = {Scheme::kRoArrayCal, Scheme::kMusicCal,
                             Scheme::kNone};
-  std::vector<std::vector<double>> errors(3);
 
-  for (const sim::Vec2& client : clients) {
-    const auto ms = sim::generate_measurements(tb, client, scfg, rng);
-    for (std::size_t s = 0; s < 3; ++s) {
-      std::vector<loc::ApObservation> obs;
-      for (std::size_t a = 0; a < ms.size(); ++a) {
-        std::vector<linalg::CMat> packets = ms[a].burst.csi;
-        if (schemes[s] == Scheme::kRoArrayCal) {
-          for (auto& c : packets) {
-            c = core::apply_phase_correction(c, ro_offsets[a]);
+  // One slot per location (3 schemes each), merged in location order so
+  // the CDFs are identical at any thread count.
+  using LocationErrors = std::vector<std::vector<double>>;
+  const auto per_loc = rt.pool.map<LocationErrors>(
+      static_cast<linalg::index_t>(clients.size()), [&](linalg::index_t li) {
+        const sim::Vec2& client = clients[static_cast<std::size_t>(li)];
+        std::mt19937_64 loc_rng(
+            bench::trial_seed(opts.seed, static_cast<std::uint64_t>(li)));
+        const auto ms = sim::generate_measurements(tb, client, scfg, loc_rng);
+        LocationErrors errs(3);
+        for (std::size_t s = 0; s < 3; ++s) {
+          std::vector<loc::ApObservation> obs;
+          for (std::size_t a = 0; a < ms.size(); ++a) {
+            std::vector<linalg::CMat> packets = ms[a].burst.csi;
+            if (schemes[s] == Scheme::kRoArrayCal) {
+              for (auto& c : packets) {
+                c = core::apply_phase_correction(c, ro_offsets[a]);
+              }
+            } else if (schemes[s] == Scheme::kMusicCal) {
+              for (auto& c : packets) {
+                c = core::apply_phase_correction(c, mu_offsets[a]);
+              }
+            }
+            core::RoArrayConfig rcfg;
+            rcfg.solver.max_iterations = 300;
+            const core::RoArrayResult r =
+                core::roarray_estimate(packets, rcfg, scfg.array, ctx);
+            if (!r.valid) continue;
+            obs.push_back({ms[a].pose, r.direct.aoa_deg, ms[a].rssi_weight});
           }
-        } else if (schemes[s] == Scheme::kMusicCal) {
-          for (auto& c : packets) {
-            c = core::apply_phase_correction(c, mu_offsets[a]);
+          const loc::LocalizeResult fix = loc::localize(obs, lcfg, ctx.pool);
+          if (fix.valid) {
+            errs[s].push_back(channel::distance(fix.position, client));
           }
         }
-        core::RoArrayConfig rcfg;
-        rcfg.solver.max_iterations = 300;
-        const core::RoArrayResult r =
-            core::roarray_estimate(packets, rcfg, scfg.array);
-        if (!r.valid) continue;
-        obs.push_back({ms[a].pose, r.direct.aoa_deg, ms[a].rssi_weight});
-      }
-      const loc::LocalizeResult fix = loc::localize(obs, lcfg);
-      if (fix.valid) {
-        errors[s].push_back(channel::distance(fix.position, client));
-      }
+        return errs;
+      });
+
+  std::vector<std::vector<double>> errors(3);
+  for (const LocationErrors& le : per_loc) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      errors[s].insert(errors[s].end(), le[s].begin(), le[s].end());
     }
   }
 

@@ -18,14 +18,16 @@ int main(int argc, char** argv) {
   std::mt19937_64 rng(opts.seed);
   const auto clients =
       sim::sample_client_locations(opts.locations, tb.room, rng);
+  bench::BenchRuntime rt(opts);
+  const runtime::EstimateContext ctx = rt.context();
 
   loc::LocalizeConfig lcfg;
   lcfg.room = tb.room;
   lcfg.grid_step_m = 0.1;
 
   std::printf("Figure 8c reproduction: ROArray accuracy vs polarization "
-              "deviation (%lld locations)\n\n",
-              static_cast<long long>(opts.locations));
+              "deviation (%lld locations, %d threads)\n\n",
+              static_cast<long long>(opts.locations), rt.pool.threads());
 
   struct Band {
     const char* name;
@@ -37,27 +39,45 @@ int main(int argc, char** argv) {
                         {"20-45 deg", 20.0, 45.0}};
 
   std::vector<eval::NamedCdf> curves;
+  std::uint64_t band_index = 0;
   for (const Band& band : bands) {
-    std::uniform_real_distribution<double> dev_deg(band.lo_deg, band.hi_deg);
+    // Per-(band, location) RNG streams: the deviation draw and the
+    // measurement noise both come from the location's own stream, so
+    // locations can run concurrently without reordering the draws.
+    const std::uint64_t band_seed =
+        opts.seed ^ (static_cast<std::uint64_t>(++band_index) << 32);
+    const auto per_loc = rt.pool.map<std::vector<double>>(
+        static_cast<linalg::index_t>(clients.size()), [&](linalg::index_t li) {
+          const sim::Vec2& client = clients[static_cast<std::size_t>(li)];
+          std::mt19937_64 loc_rng(
+              bench::trial_seed(band_seed, static_cast<std::uint64_t>(li)));
+          std::uniform_real_distribution<double> dev_deg(band.lo_deg,
+                                                         band.hi_deg);
+          sim::ScenarioConfig scfg;
+          scfg.num_packets = opts.packets;
+          scfg.snr_band = sim::SnrBand::kHigh;
+          scfg.polarization_deviation_rad =
+              dsp::deg_to_rad(band.hi_deg > 0.0 ? dev_deg(loc_rng) : 0.0);
+          const auto ms = sim::generate_measurements(tb, client, scfg, loc_rng);
+          std::vector<loc::ApObservation> obs;
+          for (const sim::ApMeasurement& m : ms) {
+            double aoa = 0.0;
+            if (!bench::estimate_direct_aoa(bench::System::kRoArray, m,
+                                            scfg.array, aoa, false, ctx)) {
+              continue;
+            }
+            obs.push_back({m.pose, aoa, m.rssi_weight});
+          }
+          std::vector<double> errs;
+          const loc::LocalizeResult fix = loc::localize(obs, lcfg, ctx.pool);
+          if (fix.valid) {
+            errs.push_back(channel::distance(fix.position, client));
+          }
+          return errs;
+        });
     std::vector<double> errors;
-    for (const sim::Vec2& client : clients) {
-      sim::ScenarioConfig scfg;
-      scfg.num_packets = opts.packets;
-      scfg.snr_band = sim::SnrBand::kHigh;
-      scfg.polarization_deviation_rad =
-          dsp::deg_to_rad(band.hi_deg > 0.0 ? dev_deg(rng) : 0.0);
-      const auto ms = sim::generate_measurements(tb, client, scfg, rng);
-      std::vector<loc::ApObservation> obs;
-      for (const sim::ApMeasurement& m : ms) {
-        double aoa = 0.0;
-        if (!bench::estimate_direct_aoa(bench::System::kRoArray, m, scfg.array,
-                                        aoa)) {
-          continue;
-        }
-        obs.push_back({m.pose, aoa, m.rssi_weight});
-      }
-      const loc::LocalizeResult fix = loc::localize(obs, lcfg);
-      if (fix.valid) errors.push_back(channel::distance(fix.position, client));
+    for (const auto& le : per_loc) {
+      errors.insert(errors.end(), le.begin(), le.end());
     }
     curves.push_back({band.name, eval::Cdf(errors)});
   }

@@ -4,9 +4,14 @@
 // Section III-C complexity scaling of the joint solve.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <random>
+#include <string>
 
 #include "channel/csi.hpp"
+#include "common.hpp"
 #include "core/roarray.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/sanitize.hpp"
@@ -295,6 +300,174 @@ void BM_PowerDelayProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerDelayProfile)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// BENCH_micro.json: the operator-cache / parallel-runtime report.
+// Measures (1) estimation setup cost, fresh vs cache hit, (2) one joint
+// solve with the Lipschitz constant recomputed per call vs taken from
+// the cache, and (3) a small fig6-style Monte Carlo end to end under the
+// three execution modes (serial per-call setup, serial with cached
+// operator, N-thread pool with cached operator), checking that all three
+// produce bit-identical error samples.
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool same_samples(const std::vector<bench::SystemErrors>& a,
+                  const std::vector<bench::SystemErrors>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (a[s].localization_m != b[s].localization_m) return false;
+    if (a[s].aoa_deg != b[s].aoa_deg) return false;
+  }
+  return true;
+}
+
+void write_micro_report(const char* path) {
+  using clock = std::chrono::steady_clock;
+  const dsp::Grid aoa = dsp::default_aoa_grid();
+  const dsp::Grid toa = dsp::default_toa_grid();
+
+  // (1) Setup: fresh build (steering factors + power iteration + grams)
+  // vs a warm cache hit.
+  auto t = clock::now();
+  const auto fresh = runtime::build_cached_operator(aoa, toa, kArray);
+  const double setup_uncached_ms = elapsed_ms(t);
+
+  runtime::OperatorCache cache;
+  (void)cache.get(aoa, toa, kArray);
+  t = clock::now();
+  const auto hit = cache.get(aoa, toa, kArray);
+  const double setup_cached_ms = elapsed_ms(t);
+
+  // (2) One joint solve, Lipschitz recomputed per call vs cached hint.
+  const CVec y = measurement_for(kArray, 11);
+  sparse::SolveConfig scfg;
+  scfg.max_iterations = 200;
+  double solve_percall_ms = 1e300, solve_cached_ms = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    sparse::SolveConfig per_call = scfg;
+    t = clock::now();
+    const auto r1 = sparse::solve_l1(hit->op, y, per_call);
+    solve_percall_ms = std::min(solve_percall_ms, elapsed_ms(t));
+    benchmark::DoNotOptimize(r1.iterations);
+
+    sparse::SolveConfig hinted = scfg;
+    hinted.lipschitz_hint = hit->norm_sq;
+    t = clock::now();
+    const auto r2 = sparse::solve_l1(hit->op, y, hinted);
+    solve_cached_ms = std::min(solve_cached_ms, elapsed_ms(t));
+    benchmark::DoNotOptimize(r2.iterations);
+  }
+
+  // (3) fig6-style workload: RoArray over a few locations at medium SNR.
+  bench::BenchOptions opts;
+  opts.locations = 4;
+  opts.packets = 8;
+  opts.seed = 7;
+  const sim::Testbed tb = sim::make_paper_testbed();
+  std::mt19937_64 loc_rng(opts.seed);
+  const auto clients =
+      sim::sample_client_locations(opts.locations, tb.room, loc_rng);
+  const std::vector<bench::System> systems = {bench::System::kRoArray};
+  const sim::SnrBand band = sim::SnrBand::kMedium;
+
+  t = clock::now();
+  const auto serial_percall =
+      bench::run_band(tb, clients, band, systems, opts);
+  const double e2e_percall_ms = elapsed_ms(t);
+
+  bench::BenchOptions serial_opts = opts;
+  serial_opts.threads = 1;
+  bench::BenchRuntime rt1(serial_opts);
+  t = clock::now();
+  const auto serial_cached =
+      bench::run_band(tb, clients, band, systems, serial_opts, &rt1);
+  const double e2e_serial_cached_ms = elapsed_ms(t);
+
+  bench::BenchOptions par_opts = opts;
+  par_opts.threads =
+      std::max(4, runtime::ThreadPool::default_thread_count());
+  bench::BenchRuntime rtn(par_opts);
+  (void)rtn.cache.get(aoa, toa, kArray);  // warm, like a long-running service
+  t = clock::now();
+  const auto parallel_cached =
+      bench::run_band(tb, clients, band, systems, par_opts, &rtn);
+  const double e2e_parallel_ms = elapsed_ms(t);
+
+  const bool cached_identical = same_samples(serial_percall, serial_cached);
+  const bool parallel_identical = same_samples(serial_cached, parallel_cached);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"threads\": %d,\n", par_opts.threads);
+  std::fprintf(f, "  \"hardware_threads\": %d,\n",
+               runtime::ThreadPool::default_thread_count());
+  std::fprintf(f,
+               "  \"workload\": {\"figure\": \"fig6-subset\", \"locations\": "
+               "%lld, \"packets\": %lld, \"aps\": 6, \"band\": \"medium\"},\n",
+               static_cast<long long>(opts.locations),
+               static_cast<long long>(opts.packets));
+  std::fprintf(f,
+               "  \"op_setup\": {\"uncached_ms\": %.3f, \"cached_hit_ms\": "
+               "%.4f, \"speedup\": %.1f},\n",
+               setup_uncached_ms, setup_cached_ms,
+               setup_uncached_ms / std::max(setup_cached_ms, 1e-6));
+  std::fprintf(f,
+               "  \"solve\": {\"lipschitz_per_call_ms\": %.3f, "
+               "\"cached_hint_ms\": %.3f, \"speedup\": %.2f},\n",
+               solve_percall_ms, solve_cached_ms,
+               solve_percall_ms / std::max(solve_cached_ms, 1e-6));
+  std::fprintf(f, "  \"fig6_end_to_end\": {\n");
+  std::fprintf(f, "    \"serial_percall_ms\": %.1f,\n", e2e_percall_ms);
+  std::fprintf(f, "    \"serial_cached_ms\": %.1f,\n", e2e_serial_cached_ms);
+  std::fprintf(f, "    \"parallel_cached_ms\": %.1f,\n", e2e_parallel_ms);
+  std::fprintf(f, "    \"cached_speedup_vs_percall\": %.2f,\n",
+               e2e_percall_ms / std::max(e2e_serial_cached_ms, 1e-6));
+  std::fprintf(f, "    \"parallel_cached_speedup_vs_percall\": %.2f,\n",
+               e2e_percall_ms / std::max(e2e_parallel_ms, 1e-6));
+  std::fprintf(f, "    \"cached_identical_to_percall\": %s,\n",
+               cached_identical ? "true" : "false");
+  std::fprintf(f, "    \"parallel_identical_to_serial\": %s\n",
+               parallel_identical ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (parallel identical to serial: %s)\n", path,
+              parallel_identical ? "yes" : "NO");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json [path] runs the runtime/cache report (and nothing else unless
+  // benchmark flags follow); with no flags the google-benchmark suite
+  // runs as before.
+  const char* json_path = nullptr;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
+                                                          : "BENCH_micro.json";
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (json_path != nullptr) {
+    write_micro_report(json_path);
+    if (rest.size() == 1) return 0;
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

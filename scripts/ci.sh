@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: builds and tests the Release configuration, then the
+# AddressSanitizer+UBSan configuration (CMake presets "default" and
+# "asan-ubsan"). The sanitizer leg reruns the whole ctest suite with a
+# multi-threaded runtime (ROARRAY_THREADS) so data races and lifetime
+# bugs in the pool/cache layer surface under instrumentation.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== Release build =="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+
+echo "== Release tests =="
+ctest --preset default -j "${JOBS}"
+
+echo "== ASan+UBSan build =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${JOBS}"
+
+echo "== ASan+UBSan tests (ROARRAY_THREADS=4) =="
+ROARRAY_THREADS=4 ctest --preset asan-ubsan -j "${JOBS}"
+
+echo "CI OK"

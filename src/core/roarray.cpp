@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "dsp/sanitize.hpp"
 #include "dsp/steering.hpp"
 #include "music/model_order.hpp"
+#include "runtime/operator_cache.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sparse/l1svd.hpp"
 #include "sparse/operator.hpp"
 
@@ -77,8 +81,8 @@ namespace {
 void extract_paths(RoArrayResult& out, const RoArrayConfig& cfg) {
   const auto peaks = out.spectrum.find_peaks(cfg.max_paths,
                                              cfg.min_peak_rel_height,
-                                             /*min_sep_aoa=*/2,
-                                             /*min_sep_toa=*/1);
+                                             cfg.min_peak_sep_aoa,
+                                             cfg.min_peak_sep_toa);
   for (const dsp::Peak& p : peaks) {
     PathEstimate e;
     e.aoa_deg = p.aoa_deg;
@@ -113,12 +117,33 @@ RoArrayResult roarray_estimate(std::span<const CMat> packets,
                                const RoArrayConfig& cfg,
                                const dsp::ArrayConfig& array_cfg,
                                const sparse::IterationCallback& callback) {
+  return roarray_estimate(packets, cfg, array_cfg, runtime::EstimateContext{},
+                          callback);
+}
+
+RoArrayResult roarray_estimate(std::span<const CMat> packets,
+                               const RoArrayConfig& cfg,
+                               const dsp::ArrayConfig& array_cfg,
+                               const runtime::EstimateContext& ctx,
+                               const sparse::IterationCallback& callback) {
   if (packets.empty()) throw std::invalid_argument("roarray_estimate: no packets");
   array_cfg.validate();
 
-  const sparse::KroneckerOperator op(
-      dsp::steering_matrix_aoa(cfg.aoa_grid, array_cfg),
-      dsp::steering_matrix_toa(cfg.toa_grid, array_cfg));
+  // The steering factors and the power-iteration Lipschitz estimate
+  // depend only on (grids, array); reuse them through the cache when
+  // one is supplied. The cached Lipschitz equals the per-call power
+  // iteration exactly, so the solve is bit-identical either way.
+  std::shared_ptr<const runtime::CachedOperator> cached;
+  std::optional<sparse::KroneckerOperator> local_op;
+  sparse::SolveConfig solver = cfg.solver;
+  if (ctx.cache != nullptr) {
+    cached = ctx.cache->get(cfg.aoa_grid, cfg.toa_grid, array_cfg);
+    if (solver.lipschitz_hint <= 0.0) solver.lipschitz_hint = cached->norm_sq;
+  } else {
+    local_op.emplace(dsp::steering_matrix_aoa(cfg.aoa_grid, array_cfg),
+                     dsp::steering_matrix_toa(cfg.toa_grid, array_cfg));
+  }
+  const sparse::KroneckerOperator& op = cached ? cached->op : *local_op;
 
   // Gather (optionally sanitized) stacked measurements.
   CMat snapshots(array_cfg.num_antennas * array_cfg.num_subcarriers,
@@ -138,7 +163,7 @@ RoArrayResult roarray_estimate(std::span<const CMat> packets,
   RoArrayResult out;
   if (packets.size() == 1) {
     const sparse::SolveResult sol =
-        sparse::solve_l1(op, snapshots.col_vec(0), cfg.solver, callback);
+        sparse::solve_l1(op, snapshots.col_vec(0), solver, callback);
     out.solver_iterations = sol.iterations;
     out.solver_converged = sol.converged;
     out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
@@ -170,13 +195,39 @@ RoArrayResult roarray_estimate(std::span<const CMat> packets,
       }
     }
     const sparse::GroupSolveResult sol =
-        sparse::solve_group_l1(op, red.reduced, cfg.solver);
+        sparse::solve_group_l1(op, red.reduced, solver, ctx.pool);
     out.solver_iterations = sol.iterations;
     out.solver_converged = sol.converged;
     out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
   }
   extract_paths(out, cfg);
   return out;
+}
+
+std::vector<RoArrayResult> roarray_estimate_batch(
+    std::span<const CsiBurst> bursts, const RoArrayConfig& cfg,
+    const dsp::ArrayConfig& array_cfg, const runtime::EstimateContext& ctx) {
+  std::vector<RoArrayResult> results(bursts.size());
+  if (bursts.empty()) return results;
+  // Warm the cache before fanning out so workers share one entry
+  // instead of stalling on the first-touch build.
+  if (ctx.cache != nullptr) {
+    (void)ctx.cache->get(cfg.aoa_grid, cfg.toa_grid, array_cfg);
+  }
+  // Per-burst estimation is independent; slot i receives burst i's
+  // result, so any thread count yields the serial output exactly.
+  // Inside a worker the nested per-snapshot parallelism degrades to
+  // serial (see ThreadPool), keeping the fan-out deadlock-free.
+  auto run_one = [&](index_t i) {
+    results[static_cast<std::size_t>(i)] =
+        roarray_estimate(bursts[static_cast<std::size_t>(i)], cfg, array_cfg, ctx);
+  };
+  if (ctx.pool != nullptr) {
+    ctx.pool->parallel_for(static_cast<index_t>(bursts.size()), run_one);
+  } else {
+    for (index_t i = 0; i < static_cast<index_t>(bursts.size()); ++i) run_one(i);
+  }
+  return results;
 }
 
 dsp::Spectrum1d roarray_aoa_spectrum(const CMat& csi, const dsp::Grid& aoa_grid,

@@ -21,6 +21,7 @@
 #include "dsp/grid.hpp"
 #include "dsp/spectrum.hpp"
 #include "linalg/matrix.hpp"
+#include "runtime/context.hpp"
 #include "sparse/fista.hpp"
 
 namespace roarray::core {
@@ -50,6 +51,12 @@ struct RoArrayConfig {
   /// Peak extraction.
   index_t max_paths = 6;
   double min_peak_rel_height = 0.12;
+  /// Minimum grid-sample separation between accepted spectrum peaks
+  /// along each axis (a candidate is suppressed only when it is within
+  /// BOTH windows of an already accepted peak). Smaller values resolve
+  /// closer path pairs at the risk of reporting sidelobes as paths.
+  index_t min_peak_sep_aoa = 2;
+  index_t min_peak_sep_toa = 1;
   /// The direct path is the smallest-ToA peak whose power is at least
   /// this fraction of the strongest peak; weaker residual spikes are
   /// listed in `paths` but never win the direct-path pick.
@@ -89,6 +96,27 @@ struct RoArrayResult {
     std::span<const CMat> packets, const RoArrayConfig& cfg,
     const dsp::ArrayConfig& array_cfg,
     const sparse::IterationCallback& callback = nullptr);
+
+/// Same, with a runtime context: a non-null cache reuses the steering
+/// factors / Lipschitz estimate across calls sharing (grids, array); a
+/// non-null pool parallelizes multi-snapshot operator applications.
+/// Results are bit-identical to the context-free overload.
+[[nodiscard]] RoArrayResult roarray_estimate(
+    std::span<const CMat> packets, const RoArrayConfig& cfg,
+    const dsp::ArrayConfig& array_cfg, const runtime::EstimateContext& ctx,
+    const sparse::IterationCallback& callback = nullptr);
+
+/// One CSI burst (the packets of one AP for one measurement round).
+using CsiBurst = std::vector<CMat>;
+
+/// Runs roarray_estimate over many bursts — e.g. one per AP, or one per
+/// Monte Carlo trial — fanning out across ctx.pool (serial when null)
+/// with the operator setup shared through ctx.cache. results[i] is
+/// bit-identical to roarray_estimate(bursts[i], ...) at any thread
+/// count.
+[[nodiscard]] std::vector<RoArrayResult> roarray_estimate_batch(
+    std::span<const CsiBurst> bursts, const RoArrayConfig& cfg,
+    const dsp::ArrayConfig& array_cfg, const runtime::EstimateContext& ctx = {});
 
 /// AoA-only sparse spectrum (paper Section III-A): solves the group
 /// problem over the spatial steering factor with every subcarrier as a

@@ -32,6 +32,12 @@ class Grid {
   /// point <= hi).
   [[nodiscard]] static Grid with_step(double lo, double hi, double step) {
     if (step <= 0.0) throw std::invalid_argument("Grid: step must be positive");
+    if (hi < lo) {
+      // Without this check the computed point count goes non-positive
+      // and the constructor's "need at least one point" hides the real
+      // mistake.
+      throw std::invalid_argument("Grid::with_step: hi must be >= lo");
+    }
     const auto n = static_cast<index_t>(std::floor((hi - lo) / step + 1e-9)) + 1;
     return Grid(lo, lo + static_cast<double>(n - 1) * step, n);
   }

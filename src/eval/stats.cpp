@@ -1,6 +1,7 @@
 #include "eval/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace roarray::eval {
@@ -29,13 +30,17 @@ ConfidenceInterval bootstrap_median_ci(const std::vector<double>& samples,
   }
   std::sort(medians.begin(), medians.end());
   const double alpha = 1.0 - confidence;
-  const auto idx = [&](double f) {
-    const auto i = static_cast<std::size_t>(f * (medians.size() - 1));
+  // Percentile endpoints: flooring both fractional ranks biased the
+  // upper endpoint low (an interval narrower than the nominal level).
+  // Use nearest-rank for the lower bound and ceiling for the upper so
+  // the interval always covers at least the requested mass.
+  const auto at = [&](std::size_t i) {
     return medians[std::min(i, medians.size() - 1)];
   };
+  const double last = static_cast<double>(medians.size() - 1);
   ConfidenceInterval ci;
-  ci.lo = idx(alpha / 2.0);
-  ci.hi = idx(1.0 - alpha / 2.0);
+  ci.lo = at(static_cast<std::size_t>(std::lround((alpha / 2.0) * last)));
+  ci.hi = at(static_cast<std::size_t>(std::ceil((1.0 - alpha / 2.0) * last)));
   ci.point = base.median();
   return ci;
 }

@@ -3,13 +3,55 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "dsp/angles.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace roarray::loc {
 
+namespace {
+
+/// Best candidate within one grid row (fixed iy), scanning ix ascending
+/// with a strict-less update — the same order and tie-breaking as the
+/// original single-loop scan.
+struct RowBest {
+  double cost = std::numeric_limits<double>::max();
+  linalg::index_t ix = -1;  ///< -1 = every candidate in the row degenerate.
+};
+
+RowBest scan_row(linalg::index_t iy, linalg::index_t nx, double step,
+                 std::span<const ApObservation> observations) {
+  RowBest best;
+  for (linalg::index_t ix = 0; ix < nx; ++ix) {
+    const Vec2 cand{static_cast<double>(ix) * step,
+                    static_cast<double>(iy) * step};
+    double cost = 0.0;
+    bool degenerate = false;
+    for (const ApObservation& o : observations) {
+      // Skip candidates sitting exactly on an AP (AoA undefined).
+      if (channel::distance(cand, o.pose.position) < 1e-9) {
+        degenerate = true;
+        break;
+      }
+      const double phi = o.pose.aoa_of_point(cand);
+      const double d = dsp::angle_diff_deg(phi, o.aoa_deg);
+      cost += o.weight * d * d;
+    }
+    if (degenerate) continue;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.ix = ix;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 LocalizeResult localize(std::span<const ApObservation> observations,
-                        const LocalizeConfig& cfg) {
+                        const LocalizeConfig& cfg,
+                        const runtime::ThreadPool* pool) {
   cfg.room.validate();
   if (cfg.grid_step_m <= 0.0) {
     throw std::invalid_argument("localize: grid step must be positive");
@@ -22,28 +64,28 @@ LocalizeResult localize(std::span<const ApObservation> observations,
   const auto ny = static_cast<linalg::index_t>(
       std::floor(cfg.room.height_m / cfg.grid_step_m)) + 1;
 
+  // Each row's minimum is independent; computing rows concurrently and
+  // reducing them in ascending iy reproduces the serial (iy outer, ix
+  // inner, strict <) argmin exactly.
+  std::vector<RowBest> rows(static_cast<std::size_t>(ny));
+  auto row_body = [&](linalg::index_t iy) {
+    rows[static_cast<std::size_t>(iy)] =
+        scan_row(iy, nx, cfg.grid_step_m, observations);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(ny, row_body);
+  } else {
+    for (linalg::index_t iy = 0; iy < ny; ++iy) row_body(iy);
+  }
+
   double best = std::numeric_limits<double>::max();
   for (linalg::index_t iy = 0; iy < ny; ++iy) {
-    for (linalg::index_t ix = 0; ix < nx; ++ix) {
-      const Vec2 cand{static_cast<double>(ix) * cfg.grid_step_m,
-                      static_cast<double>(iy) * cfg.grid_step_m};
-      double cost = 0.0;
-      bool degenerate = false;
-      for (const ApObservation& o : observations) {
-        // Skip candidates sitting exactly on an AP (AoA undefined).
-        if (channel::distance(cand, o.pose.position) < 1e-9) {
-          degenerate = true;
-          break;
-        }
-        const double phi = o.pose.aoa_of_point(cand);
-        const double d = dsp::angle_diff_deg(phi, o.aoa_deg);
-        cost += o.weight * d * d;
-      }
-      if (degenerate) continue;
-      if (cost < best) {
-        best = cost;
-        out.position = cand;
-      }
+    const RowBest& rb = rows[static_cast<std::size_t>(iy)];
+    if (rb.ix < 0) continue;
+    if (rb.cost < best) {
+      best = rb.cost;
+      out.position = Vec2{static_cast<double>(rb.ix) * cfg.grid_step_m,
+                          static_cast<double>(iy) * cfg.grid_step_m};
     }
   }
   out.cost = best;

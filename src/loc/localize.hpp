@@ -7,6 +7,10 @@
 
 #include "channel/geometry.hpp"
 
+namespace roarray::runtime {
+class ThreadPool;
+}
+
 namespace roarray::loc {
 
 using channel::ApPose;
@@ -35,8 +39,12 @@ struct LocalizeResult {
 /// Finds argmin_x sum_i R_i * (phi_i(x) - phi_hat_i)^2 over a uniform
 /// grid covering the room, where phi_i(x) is the AoA AP i would observe
 /// for a target at x. Throws std::invalid_argument on a non-positive
-/// grid step.
+/// grid step. A non-null pool splits the candidate grid by row; the
+/// per-row minima are reduced in row order with the same strict-less
+/// tie-breaking as the serial scan, so the result is identical at any
+/// thread count.
 [[nodiscard]] LocalizeResult localize(std::span<const ApObservation> observations,
-                                      const LocalizeConfig& cfg);
+                                      const LocalizeConfig& cfg,
+                                      const runtime::ThreadPool* pool = nullptr);
 
 }  // namespace roarray::loc

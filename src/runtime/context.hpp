@@ -1,0 +1,18 @@
+// The runtime context handed to estimation entry points: an optional
+// operator cache (reuse per-grid setup across calls) and an optional
+// thread pool (fan work out across cores). Both may be null — every
+// consumer falls back to per-call setup / serial execution, producing
+// bit-identical results either way.
+#pragma once
+
+namespace roarray::runtime {
+
+class OperatorCache;
+class ThreadPool;
+
+struct EstimateContext {
+  OperatorCache* cache = nullptr;  ///< non-owning; nullptr = build per call.
+  ThreadPool* pool = nullptr;      ///< non-owning; nullptr = run serial.
+};
+
+}  // namespace roarray::runtime

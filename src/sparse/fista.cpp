@@ -17,7 +17,9 @@ double resolve_kappa(const LinearOperator& op, const CVec& y,
 }
 
 double resolve_step(const LinearOperator& op, const SolveConfig& cfg) {
-  const double lip = operator_norm_sq(op) * cfg.lipschitz_safety;
+  const double norm_sq =
+      cfg.lipschitz_hint > 0.0 ? cfg.lipschitz_hint : operator_norm_sq(op);
+  const double lip = norm_sq * cfg.lipschitz_safety;
   if (lip <= 0.0) throw std::domain_error("solve_l1: zero operator");
   return 1.0 / lip;
 }
@@ -105,7 +107,8 @@ SolveResult solve_l1(const LinearOperator& op, const CVec& y,
 }
 
 GroupSolveResult solve_group_l1(const LinearOperator& op, const CMat& y,
-                                const SolveConfig& cfg) {
+                                const SolveConfig& cfg,
+                                const runtime::ThreadPool* pool) {
   if (y.rows() != op.rows()) throw std::invalid_argument("solve_group_l1: rhs rows");
   if (y.cols() < 1) throw std::invalid_argument("solve_group_l1: no snapshots");
   if (cfg.max_iterations < 1) {
@@ -117,7 +120,7 @@ GroupSolveResult solve_group_l1(const LinearOperator& op, const CMat& y,
   if (cfg.kappa > 0.0) {
     out.kappa = cfg.kappa;
   } else {
-    const CMat g = op.apply_adjoint_mat(y);
+    const CMat g = op.apply_adjoint_mat(y, pool);
     double mx = 0.0;
     for (index_t i = 0; i < g.rows(); ++i) {
       double row_sq = 0.0;
@@ -136,16 +139,16 @@ GroupSolveResult solve_group_l1(const LinearOperator& op, const CMat& y,
   CMat z = x;
   double t = 1.0;
   auto objective = [&](const CMat& xm) {
-    CMat r = op.apply_mat(xm);
+    CMat r = op.apply_mat(xm, pool);
     r -= y;
     return 0.5 * norm_fro(r) * norm_fro(r) + out.kappa * norm_l21_rows(xm);
   };
   double prev_obj = objective(x);
 
   for (int it = 1; it <= cfg.max_iterations; ++it) {
-    CMat residual = op.apply_mat(z);
+    CMat residual = op.apply_mat(z, pool);
     residual -= y;
-    CMat grad = op.apply_adjoint_mat(residual);
+    CMat grad = op.apply_adjoint_mat(residual, pool);
 
     CMat x_new = z;
     grad *= cxd{step, 0.0};
@@ -155,9 +158,9 @@ GroupSolveResult solve_group_l1(const LinearOperator& op, const CMat& y,
     double obj = objective(x_new);
     if (accelerated && obj > prev_obj) {
       // Monotone restart (see solve_l1): redo as a plain step from x.
-      CMat res_x = op.apply_mat(x);
+      CMat res_x = op.apply_mat(x, pool);
       res_x -= y;
-      CMat grad_x = op.apply_adjoint_mat(res_x);
+      CMat grad_x = op.apply_adjoint_mat(res_x, pool);
       grad_x *= cxd{step, 0.0};
       x_new = x;
       x_new -= grad_x;

@@ -38,6 +38,11 @@ struct SolveConfig {
   double kappa_ratio = 0.15;
   /// Safety factor applied to the power-iteration Lipschitz estimate.
   double lipschitz_safety = 1.05;
+  /// Precomputed lambda_max(S^H S) (e.g. from runtime::OperatorCache).
+  /// <= 0 means "estimate per call by power iteration". Because the
+  /// power iteration is deterministic, a cached value equals the
+  /// per-call one exactly — solutions are bit-identical either way.
+  double lipschitz_hint = -1.0;
 };
 
 /// Result of a single-snapshot solve.
@@ -73,9 +78,11 @@ using IterationCallback = std::function<void(int iteration, const CVec& x)>;
 
 /// Solves the row-group problem
 /// min_X 1/2 ||Y - S X||_F^2 + kappa sum_i ||X(i,:)||_2.
-[[nodiscard]] GroupSolveResult solve_group_l1(const LinearOperator& op,
-                                              const CMat& y,
-                                              const SolveConfig& cfg = {});
+/// The optional pool parallelizes the per-snapshot operator columns
+/// (results identical to the serial path).
+[[nodiscard]] GroupSolveResult solve_group_l1(
+    const LinearOperator& op, const CMat& y, const SolveConfig& cfg = {},
+    const runtime::ThreadPool* pool = nullptr);
 
 /// Objective value 1/2 ||y - S x||^2 + kappa ||x||_1 (for tests/benches).
 [[nodiscard]] double l1_objective(const LinearOperator& op, const CVec& y,

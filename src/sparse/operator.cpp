@@ -1,5 +1,7 @@
 #include "sparse/operator.hpp"
 
+#include "runtime/thread_pool.hpp"
+
 namespace roarray::sparse {
 
 CMat LinearOperator::apply_mat(const CMat& x) const {
@@ -11,6 +13,24 @@ CMat LinearOperator::apply_mat(const CMat& x) const {
 CMat LinearOperator::apply_adjoint_mat(const CMat& y) const {
   CMat x(cols(), y.cols());
   for (index_t j = 0; j < y.cols(); ++j) x.set_col(j, apply_adjoint(y.col_vec(j)));
+  return x;
+}
+
+CMat LinearOperator::apply_mat(const CMat& x,
+                               const runtime::ThreadPool* pool) const {
+  if (pool == nullptr || x.cols() < 2) return apply_mat(x);
+  CMat y(rows(), x.cols());
+  pool->parallel_for(x.cols(),
+                     [&](index_t j) { y.set_col(j, apply(x.col_vec(j))); });
+  return y;
+}
+
+CMat LinearOperator::apply_adjoint_mat(const CMat& y,
+                                       const runtime::ThreadPool* pool) const {
+  if (pool == nullptr || y.cols() < 2) return apply_adjoint_mat(y);
+  CMat x(cols(), y.cols());
+  pool->parallel_for(y.cols(),
+                     [&](index_t j) { x.set_col(j, apply_adjoint(y.col_vec(j))); });
   return x;
 }
 

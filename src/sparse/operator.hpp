@@ -13,6 +13,10 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
+namespace roarray::runtime {
+class ThreadPool;
+}
+
 namespace roarray::sparse {
 
 using linalg::CMat;
@@ -44,6 +48,14 @@ class LinearOperator {
 
   /// Column-wise adjoint application (m x k -> n x k).
   [[nodiscard]] virtual CMat apply_adjoint_mat(const CMat& y) const;
+
+  /// Pooled variants: snapshot columns are independent, so they fan out
+  /// across the pool (each column writes its own contiguous slice —
+  /// bit-identical to the serial loop). Null pool = serial.
+  [[nodiscard]] CMat apply_mat(const CMat& x,
+                               const runtime::ThreadPool* pool) const;
+  [[nodiscard]] CMat apply_adjoint_mat(const CMat& y,
+                                       const runtime::ThreadPool* pool) const;
 
   /// The small Gram matrix G = S S^H (rows x rows), used by ADMM through
   /// the Woodbury identity. Default builds it column by column via

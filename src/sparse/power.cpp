@@ -1,10 +1,16 @@
 #include "sparse/power.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace roarray::sparse {
 
 double operator_norm_sq(const LinearOperator& op, int iterations) {
+  if (iterations <= 0) {
+    // A silent 0.0 here used to surface much later as a misleading
+    // "solve_l1: zero operator" from resolve_step.
+    throw std::invalid_argument("operator_norm_sq: iterations must be positive");
+  }
   const index_t n = op.cols();
   if (n == 0 || op.rows() == 0) return 0.0;
   // Deterministic pseudo-random start vector: avoids pathological

@@ -9,7 +9,9 @@ namespace roarray::sparse {
 /// Estimates lambda_max(S^H S) by power iteration on S^H S with a
 /// deterministic starting vector. Accurate to ~1% in tens of iterations,
 /// which is plenty: FISTA only needs an upper bound within a small
-/// safety factor (applied by the caller).
+/// safety factor (applied by the caller). Throws std::invalid_argument
+/// on a non-positive iteration count; returns 0.0 only for a genuinely
+/// zero (or empty) operator.
 [[nodiscard]] double operator_norm_sq(const LinearOperator& op,
                                       int iterations = 60);
 

@@ -108,6 +108,41 @@ TEST(RoArray, ResolvesMorePathsThanAntennas) {
   }
 }
 
+TEST(RoArray, PeakSeparationConfigControlsResolvability) {
+  // Two strong paths 8 deg (4 bins of the default 2-deg AoA grid) apart
+  // with nearby ToAs. With the minimum separation at 1 bin both are
+  // resolved; widening the exclusion window to 10 bins (20 deg) merges
+  // them into a single reported path in that angular window.
+  const std::vector<Path> paths = {
+      make_path(90.0, 60e-9, cxd{1.0, 0.0}),
+      make_path(98.0, 120e-9, cxd{0.9, 0.2}),
+  };
+  const auto packets = noisy_packets(paths, 30.0, 1, 304, 0.0);
+  const auto count_in_window = [](const RoArrayResult& r) {
+    std::size_t n = 0;
+    for (const PathEstimate& p : r.paths) {
+      if (p.aoa_deg >= 84.0 && p.aoa_deg <= 104.0) ++n;
+    }
+    return n;
+  };
+
+  RoArrayConfig tight;
+  tight.sanitize = false;
+  tight.solver.max_iterations = 800;
+  tight.min_peak_sep_aoa = 1;
+  tight.min_peak_sep_toa = 1;
+  const RoArrayResult resolved = roarray_estimate(packets, tight, kArray);
+  ASSERT_TRUE(resolved.valid);
+  EXPECT_GE(count_in_window(resolved), 2u);
+
+  RoArrayConfig coarse = tight;
+  coarse.min_peak_sep_aoa = 10;
+  coarse.min_peak_sep_toa = 5;
+  const RoArrayResult merged = roarray_estimate(packets, coarse, kArray);
+  ASSERT_TRUE(merged.valid);
+  EXPECT_EQ(count_in_window(merged), 1u);
+}
+
 TEST(RoArray, InsensitiveToModelOrder) {
   // No K anywhere in the configuration: the same config handles 1 and 4
   // paths. (Contrast with MUSIC baselines that need K.)

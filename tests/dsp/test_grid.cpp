@@ -40,6 +40,23 @@ TEST(Grid, WithStepTruncatesPartialStep) {
   EXPECT_DOUBLE_EQ(g.hi(), 9.0);
 }
 
+TEST(Grid, WithStepReversedBoundsThrow) {
+  EXPECT_THROW(Grid::with_step(1.0, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(Grid::with_step(0.0, -1e-6, 0.5), std::invalid_argument);
+  // Degenerate but valid: a single-point grid.
+  const Grid g = Grid::with_step(2.0, 2.0, 0.5);
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_DOUBLE_EQ(g[0], 2.0);
+}
+
+TEST(Grid, WithStepEpsilonAbsorbsRoundoffAtHi) {
+  // 0.7 / 0.1 evaluates just below 7 in binary; the 1e-9 slack must
+  // still count hi as landing on the grid (8 points, not 7).
+  const Grid g = Grid::with_step(0.0, 0.7, 0.1);
+  EXPECT_EQ(g.size(), 8);
+  EXPECT_NEAR(g.hi(), 0.7, 1e-12);
+}
+
 TEST(Grid, NearestIndexRoundsAndClamps) {
   const Grid g(0.0, 10.0, 11);
   EXPECT_EQ(g.nearest_index(3.4), 3);

@@ -28,6 +28,31 @@ TEST(PowerMethod, ZeroOperator) {
   EXPECT_DOUBLE_EQ(operator_norm_sq(op), 0.0);
 }
 
+TEST(PowerMethod, NonPositiveIterationsThrow) {
+  const DenseOperator op(CMat(4, 4));
+  EXPECT_THROW(operator_norm_sq(op, 0), std::invalid_argument);
+  EXPECT_THROW(operator_norm_sq(op, -5), std::invalid_argument);
+}
+
+TEST(PowerMethod, DefaultEstimateTightForKroneckerSteeringOperator) {
+  // The default iteration budget must land within a few percent of the
+  // true largest eigenvalue of S S^H for a (small) joint steering
+  // operator — this is the Lipschitz constant every proximal solve
+  // steps against.
+  dsp::ArrayConfig arr;
+  arr.num_subcarriers = 8;
+  const dsp::Grid aoa(0.0, 180.0, 13);
+  const dsp::Grid toa(0.0, 784e-9, 7);
+  const KroneckerOperator op(dsp::steering_matrix_aoa(aoa, arr),
+                             dsp::steering_matrix_toa(toa, arr));
+  const double lam = operator_norm_sq(op);
+  const CMat s = dsp::steering_matrix_joint(aoa, toa, arr);
+  const auto eg = linalg::eig_hermitian(matmul(s, adjoint(s)));
+  const double ref = eg.eigenvalues[s.rows() - 1];
+  ASSERT_GT(ref, 0.0);
+  EXPECT_NEAR(lam, ref, 0.03 * ref);
+}
+
 TEST(KappaMax, GivesZeroSolution) {
   auto rng = rt::make_rng(82);
   const CMat s = rt::random_cmat(8, 30, rng);

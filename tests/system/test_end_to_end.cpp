@@ -8,6 +8,8 @@
 #include "loc/localize.hpp"
 #include "music/arraytrack.hpp"
 #include "music/spotfi.hpp"
+#include "runtime/operator_cache.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/scenario.hpp"
 #include "../test_util.hpp"
 
@@ -23,18 +25,33 @@ loc::LocalizeConfig loc_config(const sim::Testbed& tb) {
   return cfg;
 }
 
-/// Runs ROArray on every AP's burst and triangulates.
+/// Shared estimation runtime for the whole test binary: one operator
+/// cache and one small pool. Results are identical to the serial
+/// per-call path (see tests/runtime), so the assertions below are
+/// unchanged from when this helper looped over APs itself.
+runtime::EstimateContext shared_context() {
+  static runtime::OperatorCache cache;
+  static runtime::ThreadPool pool(2);
+  return {&cache, &pool};
+}
+
+/// Runs ROArray on every AP's burst (batched over the shared pool) and
+/// triangulates.
 loc::LocalizeResult localize_roarray(const sim::Testbed& tb,
                                      const std::vector<sim::ApMeasurement>& ms,
                                      const core::RoArrayConfig& rcfg,
                                      const dsp::ArrayConfig& arr) {
+  const runtime::EstimateContext ctx = shared_context();
+  std::vector<core::CsiBurst> bursts;
+  bursts.reserve(ms.size());
+  for (const auto& m : ms) bursts.push_back(m.burst.csi);
+  const auto results = core::roarray_estimate_batch(bursts, rcfg, arr, ctx);
   std::vector<loc::ApObservation> obs;
-  for (const auto& m : ms) {
-    const core::RoArrayResult r = core::roarray_estimate(m.burst.csi, rcfg, arr);
-    if (!r.valid) continue;
-    obs.push_back({m.pose, r.direct.aoa_deg, m.rssi_weight});
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (!results[i].valid) continue;
+    obs.push_back({ms[i].pose, results[i].direct.aoa_deg, ms[i].rssi_weight});
   }
-  return loc::localize(obs, loc_config(tb));
+  return loc::localize(obs, loc_config(tb), ctx.pool);
 }
 
 TEST(EndToEnd, RoArrayLocalizesAtHighSnr) {

@@ -54,6 +54,20 @@ TEST(BootstrapCi, InvalidInputsThrow) {
   EXPECT_THROW(bootstrap_median_ci(ok, rng, 0.95, 2), std::invalid_argument);
 }
 
+TEST(BootstrapCi, RegressionPinsPercentileIndexing) {
+  // Fixed sample set + seed: pins the percentile endpoints to the
+  // nearest-rank (lower) / ceiling (upper) indexing. The old floored
+  // upper index shifted ci.hi one order statistic low on fractional
+  // ranks, silently narrowing the interval.
+  const std::vector<double> samples = {0.8, 1.1, 1.9, 2.4, 3.0,
+                                       3.6, 4.2, 5.0, 6.5, 9.1};
+  auto rng = rt::make_rng(2026);
+  const ConfidenceInterval ci = bootstrap_median_ci(samples, rng, 0.95, 200);
+  EXPECT_DOUBLE_EQ(ci.point, 3.3);  // (3.0 + 3.6) / 2
+  EXPECT_DOUBLE_EQ(ci.lo, 1.9);
+  EXPECT_DOUBLE_EQ(ci.hi, 5.35);
+}
+
 TEST(BootstrapCi, DeterministicGivenSeed) {
   std::vector<double> samples = {1.0, 3.0, 2.0, 5.0, 4.0, 6.0, 0.5};
   auto rng_a = rt::make_rng(77);
