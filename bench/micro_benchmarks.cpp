@@ -17,6 +17,7 @@
 #include "dsp/sanitize.hpp"
 #include "dsp/steering.hpp"
 #include "linalg/eig.hpp"
+#include "linalg/gemm.hpp"
 #include "linalg/svd.hpp"
 #include "music/covariance.hpp"
 #include "music/music.hpp"
@@ -86,6 +87,84 @@ void BM_KroneckerOperatorApply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KroneckerOperatorApply)->Unit(benchmark::kMicrosecond);
+
+/// Tentpole kernel ablation: cache-blocked GEMM vs the naive triple loop
+/// on the materialized joint steering matrix times a snapshot block.
+void BM_GemmJointSteering(benchmark::State& state) {
+  const bool blocked = state.range(0) == 1;
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const CMat s = dsp::steering_matrix_joint(aoa, toa, kArray);
+  CMat x(s.cols(), 8);
+  for (index_t j = 0; j < x.cols(); ++j) {
+    for (index_t i = 0; i < x.rows(); ++i) {
+      x(i, j) = cxd{0.01 * static_cast<double>((i + 2 * j) % 7),
+                    0.005 * static_cast<double>(i % 5)};
+    }
+  }
+  for (auto _ : state) {
+    if (blocked) {
+      benchmark::DoNotOptimize(linalg::matmul_blocked(s, x));
+    } else {
+      benchmark::DoNotOptimize(matmul(s, x));
+    }
+  }
+  state.SetLabel(blocked ? "blocked" : "naive");
+}
+BENCHMARK(BM_GemmJointSteering)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/// Tentpole kernel ablation: batched (reshape-trick) Kronecker block
+/// apply vs the per-column base-class path on the same operator.
+void BM_KroneckerApplyMat(benchmark::State& state) {
+  const bool batched = state.range(0) == 1;
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  CMat x(op.cols(), 4);
+  for (index_t j = 0; j < x.cols(); ++j) {
+    for (index_t i = 0; i < x.rows(); ++i) {
+      x(i, j) = cxd{0.01 * static_cast<double>((i + j) % 11),
+                    0.002 * static_cast<double>(i % 3)};
+    }
+  }
+  CMat y;
+  for (auto _ : state) {
+    if (batched) {
+      op.apply_mat_into(x, y, nullptr);
+    } else {
+      op.LinearOperator::apply_mat_into(x, y, nullptr);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(batched ? "batched (3 GEMMs)" : "per-column");
+}
+BENCHMARK(BM_KroneckerApplyMat)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
+
+/// Tentpole solver ablation: group FISTA with the momentum-linearity
+/// apply reuse (2 operator applications per iteration) vs the direct
+/// 3-application path, at a fixed iteration count.
+void BM_GroupSolveApplyReuse(benchmark::State& state) {
+  const bool reuse = state.range(0) == 1;
+  const dsp::Grid aoa(0.0, 180.0, 91);
+  const dsp::Grid toa(0.0, 784e-9, 50);
+  const sparse::KroneckerOperator op(dsp::steering_matrix_aoa(aoa, kArray),
+                                     dsp::steering_matrix_toa(toa, kArray));
+  CMat y(op.rows(), 3);
+  for (index_t c = 0; c < y.cols(); ++c) {
+    y.set_col(c, measurement_for(kArray, 20 + static_cast<std::uint64_t>(c)));
+  }
+  sparse::SolveConfig cfg;
+  cfg.max_iterations = 200;
+  cfg.tolerance = 0.0;  // fixed work so both paths run equal iterations
+  cfg.reuse_applies = reuse;
+  for (auto _ : state) {
+    const auto r = sparse::solve_group_l1(op, y, cfg);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+  state.SetLabel(reuse ? "apply-reuse (2 applies/it)" : "direct (3 applies/it)");
+}
+BENCHMARK(BM_GroupSolveApplyReuse)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 /// Section III-C: joint-solve cost vs grid size (N_theta * N_tau).
 void BM_JointSolveScaling(benchmark::State& state) {
@@ -362,6 +441,123 @@ void write_micro_report(const char* path) {
     benchmark::DoNotOptimize(r2.iterations);
   }
 
+  // (2b) Kernel-level ablations behind the solve numbers above. Each
+  // timing is a best-of-3 minimum; each fast path is checked against its
+  // reference on the spot so the report can double as a smoke test
+  // (scripts/ci.sh fails if any flag below comes out false).
+
+  // Blocked GEMM vs the naive triple loop on the materialized joint
+  // steering matrix times an 8-column snapshot block.
+  const CMat sj = dsp::steering_matrix_joint(aoa, toa, kArray);
+  CMat xblk(sj.cols(), 8);
+  for (index_t j = 0; j < xblk.cols(); ++j) {
+    for (index_t i = 0; i < xblk.rows(); ++i) {
+      xblk(i, j) = cxd{0.01 * static_cast<double>((i + 2 * j) % 7),
+                       0.005 * static_cast<double>(i % 5)};
+    }
+  }
+  double gemm_blocked_ms = 1e300, gemm_naive_ms = 1e300;
+  CMat c_blocked, c_naive;
+  for (int rep = 0; rep < 3; ++rep) {
+    t = clock::now();
+    c_blocked = linalg::matmul_blocked(sj, xblk);
+    gemm_blocked_ms = std::min(gemm_blocked_ms, elapsed_ms(t));
+    t = clock::now();
+    c_naive = matmul(sj, xblk);
+    gemm_naive_ms = std::min(gemm_naive_ms, elapsed_ms(t));
+  }
+  double gemm_max_abs_diff = 0.0;
+  for (index_t j = 0; j < c_blocked.cols(); ++j) {
+    for (index_t i = 0; i < c_blocked.rows(); ++i) {
+      gemm_max_abs_diff = std::max(gemm_max_abs_diff,
+                                   std::abs(c_blocked(i, j) - c_naive(i, j)));
+    }
+  }
+  const bool gemm_matches = gemm_max_abs_diff <= 1e-12;
+
+  // Batched (reshape-trick) Kronecker block apply vs the per-column
+  // base-class path; forward and adjoint must agree bit for bit.
+  CMat xk(hit->op.cols(), 4);
+  for (index_t j = 0; j < xk.cols(); ++j) {
+    for (index_t i = 0; i < xk.rows(); ++i) {
+      xk(i, j) = cxd{0.01 * static_cast<double>((i + j) % 11),
+                     0.002 * static_cast<double>(i % 3)};
+    }
+  }
+  constexpr int kKronReps = 100;
+  double kron_batched_ms = 1e300, kron_percol_ms = 1e300;
+  CMat y_batched, y_percol;
+  for (int rep = 0; rep < 3; ++rep) {
+    t = clock::now();
+    for (int i = 0; i < kKronReps; ++i) {
+      hit->op.apply_mat_into(xk, y_batched, nullptr);
+    }
+    kron_batched_ms = std::min(kron_batched_ms, elapsed_ms(t) / kKronReps);
+    t = clock::now();
+    for (int i = 0; i < kKronReps; ++i) {
+      hit->op.LinearOperator::apply_mat_into(xk, y_percol, nullptr);
+    }
+    kron_percol_ms = std::min(kron_percol_ms, elapsed_ms(t) / kKronReps);
+  }
+  CMat xa_batched, xa_percol;
+  hit->op.apply_adjoint_mat_into(y_batched, xa_batched, nullptr);
+  hit->op.LinearOperator::apply_adjoint_mat_into(y_percol, xa_percol, nullptr);
+  bool kron_identical = true;
+  for (index_t j = 0; j < y_batched.cols() && kron_identical; ++j) {
+    for (index_t i = 0; i < y_batched.rows(); ++i) {
+      if (y_batched(i, j) != y_percol(i, j)) {
+        kron_identical = false;
+        break;
+      }
+    }
+  }
+  for (index_t j = 0; j < xa_batched.cols() && kron_identical; ++j) {
+    for (index_t i = 0; i < xa_batched.rows(); ++i) {
+      if (xa_batched(i, j) != xa_percol(i, j)) {
+        kron_identical = false;
+        break;
+      }
+    }
+  }
+
+  // Group FISTA with apply reuse (2 operator applications per iteration
+  // via the momentum identity) vs the direct 3-application path, fixed
+  // iteration count. Iterates agree to rounding, not bit-exactly, so
+  // this flag is tolerance-based ("matches", not "identical").
+  CMat yblk(hit->op.rows(), 3);
+  for (index_t c = 0; c < yblk.cols(); ++c) {
+    yblk.set_col(c,
+                 measurement_for(kArray, 20 + static_cast<std::uint64_t>(c)));
+  }
+  sparse::SolveConfig gcfg;
+  gcfg.max_iterations = 200;
+  gcfg.tolerance = 0.0;
+  gcfg.lipschitz_hint = hit->norm_sq;
+  sparse::GroupSolveResult g_reuse, g_direct;
+  double fista_reuse_ms = 1e300, fista_direct_ms = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    sparse::SolveConfig gc = gcfg;
+    gc.reuse_applies = true;
+    t = clock::now();
+    g_reuse = sparse::solve_group_l1(hit->op, yblk, gc);
+    fista_reuse_ms = std::min(fista_reuse_ms, elapsed_ms(t));
+    gc.reuse_applies = false;
+    t = clock::now();
+    g_direct = sparse::solve_group_l1(hit->op, yblk, gc);
+    fista_direct_ms = std::min(fista_direct_ms, elapsed_ms(t));
+  }
+  double fista_ref_max = 0.0, fista_diff_max = 0.0;
+  for (index_t j = 0; j < g_direct.x.cols(); ++j) {
+    for (index_t i = 0; i < g_direct.x.rows(); ++i) {
+      fista_ref_max = std::max(fista_ref_max, std::abs(g_direct.x(i, j)));
+      fista_diff_max = std::max(fista_diff_max,
+                                std::abs(g_reuse.x(i, j) - g_direct.x(i, j)));
+    }
+  }
+  const double fista_rel_diff =
+      fista_diff_max / std::max(fista_ref_max, 1e-300);
+  const bool fista_matches = fista_rel_diff <= 1e-6;
+
   // (3) fig6-style workload: RoArray over a few locations at medium SNR.
   bench::BenchOptions opts;
   opts.locations = 4;
@@ -374,28 +570,42 @@ void write_micro_report(const char* path) {
   const std::vector<bench::System> systems = {bench::System::kRoArray};
   const sim::SnrBand band = sim::SnrBand::kMedium;
 
-  t = clock::now();
-  const auto serial_percall =
-      bench::run_band(tb, clients, band, systems, opts);
-  const double e2e_percall_ms = elapsed_ms(t);
+  // Each mode is deterministic per configuration, so best-of-3 timing
+  // keeps the identity checks valid on whichever rep's samples we keep
+  // while filtering out machine noise (the same policy as the solve
+  // section above).
+  std::vector<bench::SystemErrors> serial_percall, serial_cached,
+      parallel_cached;
+  double e2e_percall_ms = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    t = clock::now();
+    serial_percall = bench::run_band(tb, clients, band, systems, opts);
+    e2e_percall_ms = std::min(e2e_percall_ms, elapsed_ms(t));
+  }
 
   bench::BenchOptions serial_opts = opts;
   serial_opts.threads = 1;
   bench::BenchRuntime rt1(serial_opts);
-  t = clock::now();
-  const auto serial_cached =
-      bench::run_band(tb, clients, band, systems, serial_opts, &rt1);
-  const double e2e_serial_cached_ms = elapsed_ms(t);
+  double e2e_serial_cached_ms = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    t = clock::now();
+    serial_cached =
+        bench::run_band(tb, clients, band, systems, serial_opts, &rt1);
+    e2e_serial_cached_ms = std::min(e2e_serial_cached_ms, elapsed_ms(t));
+  }
 
   bench::BenchOptions par_opts = opts;
   par_opts.threads =
       std::max(4, runtime::ThreadPool::default_thread_count());
   bench::BenchRuntime rtn(par_opts);
   (void)rtn.cache.get(aoa, toa, kArray);  // warm, like a long-running service
-  t = clock::now();
-  const auto parallel_cached =
-      bench::run_band(tb, clients, band, systems, par_opts, &rtn);
-  const double e2e_parallel_ms = elapsed_ms(t);
+  double e2e_parallel_ms = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    t = clock::now();
+    parallel_cached =
+        bench::run_band(tb, clients, band, systems, par_opts, &rtn);
+    e2e_parallel_ms = std::min(e2e_parallel_ms, elapsed_ms(t));
+  }
 
   const bool cached_identical = same_samples(serial_percall, serial_cached);
   const bool parallel_identical = same_samples(serial_cached, parallel_cached);
@@ -424,6 +634,31 @@ void write_micro_report(const char* path) {
                "\"cached_hint_ms\": %.3f, \"speedup\": %.2f},\n",
                solve_percall_ms, solve_cached_ms,
                solve_percall_ms / std::max(solve_cached_ms, 1e-6));
+  std::fprintf(f, "  \"kernels\": {\n");
+  std::fprintf(f, "    \"gemm_blocked_ms\": %.3f,\n", gemm_blocked_ms);
+  std::fprintf(f, "    \"gemm_naive_ms\": %.3f,\n", gemm_naive_ms);
+  std::fprintf(f, "    \"gemm_blocked_speedup\": %.2f,\n",
+               gemm_naive_ms / std::max(gemm_blocked_ms, 1e-6));
+  std::fprintf(f, "    \"gemm_blocked_max_abs_diff\": %.3e,\n",
+               gemm_max_abs_diff);
+  std::fprintf(f, "    \"gemm_blocked_matches_naive\": %s,\n",
+               gemm_matches ? "true" : "false");
+  std::fprintf(f, "    \"kron_apply_mat_batched_ms\": %.4f,\n",
+               kron_batched_ms);
+  std::fprintf(f, "    \"kron_apply_mat_percolumn_ms\": %.4f,\n",
+               kron_percol_ms);
+  std::fprintf(f, "    \"kron_batched_speedup\": %.2f,\n",
+               kron_percol_ms / std::max(kron_batched_ms, 1e-6));
+  std::fprintf(f, "    \"kron_batched_identical_to_percolumn\": %s,\n",
+               kron_identical ? "true" : "false");
+  std::fprintf(f, "    \"fista_reuse_ms\": %.3f,\n", fista_reuse_ms);
+  std::fprintf(f, "    \"fista_direct_ms\": %.3f,\n", fista_direct_ms);
+  std::fprintf(f, "    \"fista_reuse_speedup\": %.2f,\n",
+               fista_direct_ms / std::max(fista_reuse_ms, 1e-6));
+  std::fprintf(f, "    \"fista_reuse_max_rel_diff\": %.3e,\n", fista_rel_diff);
+  std::fprintf(f, "    \"fista_reuse_matches_direct\": %s\n",
+               fista_matches ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fig6_end_to_end\": {\n");
   std::fprintf(f, "    \"serial_percall_ms\": %.1f,\n", e2e_percall_ms);
   std::fprintf(f, "    \"serial_cached_ms\": %.1f,\n", e2e_serial_cached_ms);

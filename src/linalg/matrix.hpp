@@ -264,13 +264,19 @@ template <typename T>
   return c;
 }
 
-/// Frobenius norm.
+/// Squared Frobenius norm (no sqrt — use instead of norm_fro(a)^2).
 template <typename T>
-[[nodiscard]] double norm_fro(const Matrix<T>& a) {
+[[nodiscard]] double norm_fro_sq(const Matrix<T>& a) {
   double acc = 0.0;
   for (index_t j = 0; j < a.cols(); ++j)
     for (index_t i = 0; i < a.rows(); ++i) acc += detail::abs_sq(a(i, j));
-  return std::sqrt(acc);
+  return acc;
+}
+
+/// Frobenius norm.
+template <typename T>
+[[nodiscard]] double norm_fro(const Matrix<T>& a) {
+  return std::sqrt(norm_fro_sq(a));
 }
 
 /// Maximum element magnitude.

@@ -110,6 +110,26 @@ class ThreadPool {
     if (job_error_) std::rethrow_exception(job_error_);
   }
 
+  /// Range/tile variant used by the blocked GEMM kernels: partitions
+  /// [0, n) into ceil(n / grain) contiguous ranges of at most `grain`
+  /// indices and runs body(begin, end) exactly once per range. The
+  /// partition depends only on (n, grain) — never on the thread count —
+  /// so a kernel that writes each output element from exactly one range
+  /// produces bit-identical results at any parallelism degree. Blocks
+  /// until every range is done; exceptions propagate like parallel_for.
+  void parallel_for_range(
+      index_t n, index_t grain,
+      const std::function<void(index_t, index_t)>& body) const {
+    if (n <= 0) return;
+    const index_t g = grain > 0 ? grain : 1;
+    const index_t tiles = (n + g - 1) / g;
+    parallel_for(tiles, [&](index_t t) {
+      const index_t begin = t * g;
+      const index_t end = begin + g < n ? begin + g : n;
+      body(begin, end);
+    });
+  }
+
   /// Deterministic map: slot i of the result receives fn(i). The output
   /// vector is index-ordered, so downstream reductions see results in
   /// exactly the order a serial loop would produce them.

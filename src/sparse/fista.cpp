@@ -1,7 +1,9 @@
 #include "sparse/fista.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "sparse/power.hpp"
 #include "sparse/prox.hpp"
@@ -24,6 +26,70 @@ double resolve_step(const LinearOperator& op, const SolveConfig& cfg) {
   return 1.0 / lip;
 }
 
+/// 0.5 * || s - y ||^2 over interleaved complex storage of `count`
+/// elements, without materializing the residual (accumulation matches
+/// norm2_sq / norm_fro_sq of the explicit difference: one |.|^2 term
+/// per complex element, ascending).
+double half_residual_sq(const cxd* s, const cxd* y, index_t count) {
+  const double* sd = reinterpret_cast<const double*>(s);
+  const double* yd = reinterpret_cast<const double*>(y);
+  double acc = 0.0;
+  for (index_t i = 0; i < count; ++i) {
+    const double dr = sd[2 * i] - yd[2 * i];
+    const double di = sd[2 * i + 1] - yd[2 * i + 1];
+    acc += dr * dr + di * di;
+  }
+  return 0.5 * acc;
+}
+
+/// Fused momentum bookkeeping over `count` complex elements: writes
+/// z = x_new + beta (x_new - x) and accumulates ||x_new - x||^2 and
+/// ||x_new||^2 for the relative-change stopping rule, all in one pass
+/// (the unfused version walks the iterate four times).
+void momentum_update(const cxd* x_new, const cxd* x, double beta, cxd* z,
+                     index_t count, double& diff_sq, double& new_sq) {
+  const double* nd = reinterpret_cast<const double*>(x_new);
+  const double* od = reinterpret_cast<const double*>(x);
+  double* zd = reinterpret_cast<double*>(z);
+  double ds = 0.0;
+  double ns = 0.0;
+  for (index_t i = 0; i < count; ++i) {
+    const double dr = nd[2 * i] - od[2 * i];
+    const double di = nd[2 * i + 1] - od[2 * i + 1];
+    ds += dr * dr + di * di;
+    ns += nd[2 * i] * nd[2 * i] + nd[2 * i + 1] * nd[2 * i + 1];
+    zd[2 * i] = nd[2 * i] + beta * dr;
+    zd[2 * i + 1] = nd[2 * i + 1] + beta * di;
+  }
+  diff_sq = ds;
+  new_sq = ns;
+}
+
+/// sz = sx_new + beta (sx_new - sx): the momentum identity on the
+/// cached forward applications (reuse path).
+void extrapolate(const cxd* sx_new, const cxd* sx, double beta, cxd* sz,
+                 index_t count) {
+  const double* nd = reinterpret_cast<const double*>(sx_new);
+  const double* od = reinterpret_cast<const double*>(sx);
+  double* zd = reinterpret_cast<double*>(sz);
+  for (index_t i = 0; i < 2 * count; ++i) {
+    zd[i] = nd[i] + beta * (nd[i] - od[i]);
+  }
+}
+
+/// x_new = from - step * grad over interleaved storage (one pass; the
+/// unfused version copies `from` and then subtracts a scaled copy of
+/// the gradient).
+void gradient_step(const cxd* from, const cxd* grad, double step, cxd* x_new,
+                   index_t count) {
+  const double* fd = reinterpret_cast<const double*>(from);
+  const double* gd = reinterpret_cast<const double*>(grad);
+  double* xd = reinterpret_cast<double*>(x_new);
+  for (index_t i = 0; i < 2 * count; ++i) {
+    xd[i] = fd[i] - step * gd[i];
+  }
+}
+
 }  // namespace
 
 double kappa_max(const LinearOperator& op, const CVec& y) {
@@ -37,6 +103,24 @@ double l1_objective(const LinearOperator& op, const CVec& y, const CVec& x,
   return 0.5 * norm2_sq(r) + kappa * norm1(x);
 }
 
+// Both solvers below keep the forward applications S x and S z cached
+// across iterations (cfg.reuse_applies). Per iteration the direct path
+// costs three operator applications — S z for the gradient, S^H r, and
+// S x_new for the objective — while the reuse path costs two: S x_new
+// is retained, and the next momentum point's S z follows by linearity,
+//   z = x_new + beta (x_new - x)  =>  S z = (1+beta) S x_new - beta S x,
+// so the objective evaluation's application is never repeated. After a
+// monotone restart beta = 0 and S z = S x_new exactly; the cached S x is
+// always a direct application (never a linear combination), so error
+// from the identity cannot compound across iterations.
+//
+// All large per-iteration buffers (iterate, momentum point, gradient,
+// residual, cached applications) are allocated once and recycled via
+// swaps; element-wise passes over the grid-sized iterate are fused (see
+// the helpers above). This matters: the unknown block is tall (grid
+// size x snapshots) and the naive expression-by-expression loop spends
+// more time re-walking and re-allocating it than in the operator.
+
 SolveResult solve_l1(const LinearOperator& op, const CVec& y,
                      const SolveConfig& cfg, const IterationCallback& callback) {
   if (y.size() != op.rows()) throw std::invalid_argument("solve_l1: rhs size");
@@ -47,55 +131,67 @@ SolveResult solve_l1(const LinearOperator& op, const CVec& y,
   const double step = resolve_step(op, cfg);
   const double shrink = step * out.kappa;
   const bool accelerated = cfg.algorithm == Algorithm::kFista;
+  const bool reuse = cfg.reuse_applies;
 
-  CVec x(op.cols());
-  CVec z = x;  // momentum point (equals x for ISTA)
+  const index_t n = op.cols();
+  const index_t m = op.rows();
+  CVec x(n);
+  CVec z(n);      // momentum point (equals x for ISTA)
+  CVec x_new(n);
+  CVec sx(m);     // S x (x starts at zero)
+  CVec sz(m);     // S z, maintained only on the reuse path
+  CVec sx_new(m);
+  CVec residual(m);
   double t = 1.0;
-  double prev_obj = l1_objective(op, y, x, out.kappa);
+  double prev_obj = half_residual_sq(sx.data(), y.data(), m);  // x = 0
 
   for (int it = 1; it <= cfg.max_iterations; ++it) {
     // Gradient of the smooth part at z: S^H (S z - y).
-    CVec residual = op.apply(z);
+    residual = reuse ? sz : op.apply(z);
     residual -= y;
     CVec grad = op.apply_adjoint(residual);
 
-    CVec x_new = z;
-    axpy(cxd{-step, 0.0}, grad, x_new);
+    gradient_step(z.data(), grad.data(), step, x_new.data(), n);
     soft_threshold_inplace(x_new, shrink);
+    sx_new = op.apply(x_new);
+    double obj =
+        half_residual_sq(sx_new.data(), y.data(), m) + out.kappa * norm1(x_new);
 
-    double obj = l1_objective(op, y, x_new, out.kappa);
     if (accelerated && obj > prev_obj) {
       // Monotone restart: the momentum step overshot. Discard it and
       // take a plain proximal-gradient step from x, which the step-size
-      // majorization guarantees does not increase the objective.
-      CVec res_x = op.apply(x);
-      res_x -= y;
-      const CVec grad_x = op.apply_adjoint(res_x);
-      x_new = x;
-      axpy(cxd{-step, 0.0}, grad_x, x_new);
+      // majorization guarantees does not increase the objective. S x is
+      // already cached, so the restart gradient costs no extra forward
+      // application on the reuse path.
+      residual = reuse ? sx : op.apply(x);
+      residual -= y;
+      grad = op.apply_adjoint(residual);
+      gradient_step(x.data(), grad.data(), step, x_new.data(), n);
       soft_threshold_inplace(x_new, shrink);
-      obj = l1_objective(op, y, x_new, out.kappa);
+      sx_new = op.apply(x_new);
+      obj = half_residual_sq(sx_new.data(), y.data(), m) +
+            out.kappa * norm1(x_new);
       t = 1.0;
     }
     out.objective.push_back(obj);
     out.iterations = it;
 
-    // Relative change stopping rule.
-    CVec diff = x_new;
-    diff -= x;
-    const double rel_change = norm2(diff) / std::max(1.0, norm2(x_new));
-
+    double beta = 0.0;
     if (accelerated) {
       const double t_new = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
-      const double beta = (t - 1.0) / t_new;
-      z = x_new;
-      axpy(cxd{beta, 0.0}, diff, z);
+      beta = (t - 1.0) / t_new;
       t = t_new;
-    } else {
-      z = x_new;
     }
+    double diff_sq = 0.0;
+    double new_sq = 0.0;
+    momentum_update(x_new.data(), x.data(), beta, z.data(), n, diff_sq, new_sq);
+    const double rel_change =
+        std::sqrt(diff_sq) / std::max(1.0, std::sqrt(new_sq));
+    if (reuse) extrapolate(sx_new.data(), sx.data(), beta, sz.data(), m);
+
     prev_obj = obj;
-    x = std::move(x_new);
+    std::swap(x, x_new);
+    std::swap(sx, sx_new);
     if (callback) callback(it, x);
     if (rel_change < cfg.tolerance) {
       out.converged = true;
@@ -116,77 +212,139 @@ GroupSolveResult solve_group_l1(const LinearOperator& op, const CMat& y,
   }
 
   GroupSolveResult out;
+  const index_t n = op.cols();
+  const index_t k = y.cols();
+  const index_t m = op.rows();
+
   // Auto kappa for the group norm: largest row norm of S^H Y.
   if (cfg.kappa > 0.0) {
     out.kappa = cfg.kappa;
   } else {
     const CMat g = op.apply_adjoint_mat(y, pool);
+    std::vector<double> row_sq(static_cast<std::size_t>(n), 0.0);
+    for (index_t j = 0; j < k; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        row_sq[static_cast<std::size_t>(i)] += std::norm(g(i, j));
+      }
+    }
     double mx = 0.0;
-    for (index_t i = 0; i < g.rows(); ++i) {
-      double row_sq = 0.0;
-      for (index_t j = 0; j < g.cols(); ++j) row_sq += std::norm(g(i, j));
-      mx = std::max(mx, std::sqrt(row_sq));
+    for (index_t i = 0; i < n; ++i) {
+      mx = std::max(mx, std::sqrt(row_sq[static_cast<std::size_t>(i)]));
     }
     out.kappa = cfg.kappa_ratio * mx;
   }
   const double step = resolve_step(op, cfg);
   const double shrink = step * out.kappa;
   const bool accelerated = cfg.algorithm == Algorithm::kFista;
+  const bool reuse = cfg.reuse_applies;
 
-  const index_t n = op.cols();
-  const index_t k = y.cols();
   CMat x(n, k);
-  CMat z = x;
+  CMat z(n, k);
+  CMat x_new(n, k);
+  CMat grad(n, k);
+  CMat sx(m, k);  // S x (x starts at zero)
+  CMat sz(m, k);  // S z, maintained only on the reuse path
+  CMat sx_new(m, k);
+  CMat residual(m, k);
+  std::vector<double> row_scale(static_cast<std::size_t>(n));
   double t = 1.0;
-  auto objective = [&](const CMat& xm) {
-    CMat r = op.apply_mat(xm, pool);
-    r -= y;
-    return 0.5 * norm_fro(r) * norm_fro(r) + out.kappa * norm_l21_rows(xm);
+  double prev_obj = half_residual_sq(sx.data(), y.data(), m * k);  // x = 0
+
+  // x_new = prox_{shrink ||.||_{2,1}}(from - step * grad), returning
+  // ||x_new||_{2,1} for the objective. One column-major pass writes the
+  // gradient step and accumulates the squared row norms; a second
+  // applies the row shrink factors. The returned l2,1 value is the
+  // analytic post-shrink norm (row norm times its shrink factor).
+  auto prox_gradient_step = [&](const CMat& from, const CMat& g) {
+    const double* fd = reinterpret_cast<const double*>(from.data());
+    const double* gd = reinterpret_cast<const double*>(g.data());
+    double* xd = reinterpret_cast<double*>(x_new.data());
+    std::fill(row_scale.begin(), row_scale.end(), 0.0);
+    for (index_t j = 0; j < k; ++j) {
+      const index_t off = 2 * j * n;
+      for (index_t i = 0; i < n; ++i) {
+        const double xr = fd[off + 2 * i] - step * gd[off + 2 * i];
+        const double xi = fd[off + 2 * i + 1] - step * gd[off + 2 * i + 1];
+        xd[off + 2 * i] = xr;
+        xd[off + 2 * i + 1] = xi;
+        row_scale[static_cast<std::size_t>(i)] += xr * xr + xi * xi;
+      }
+    }
+    double l21 = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double norm = std::sqrt(row_scale[static_cast<std::size_t>(i)]);
+      if (norm <= shrink) {
+        row_scale[static_cast<std::size_t>(i)] = -1.0;
+      } else {
+        const double s = 1.0 - shrink / norm;
+        row_scale[static_cast<std::size_t>(i)] = s;
+        l21 += norm * s;
+      }
+    }
+    for (index_t j = 0; j < k; ++j) {
+      double* cj = xd + 2 * j * n;
+      for (index_t i = 0; i < n; ++i) {
+        const double s = row_scale[static_cast<std::size_t>(i)];
+        if (s < 0.0) {
+          cj[2 * i] = 0.0;
+          cj[2 * i + 1] = 0.0;
+        } else {
+          cj[2 * i] *= s;
+          cj[2 * i + 1] *= s;
+        }
+      }
+    }
+    return l21;
   };
-  double prev_obj = objective(x);
 
   for (int it = 1; it <= cfg.max_iterations; ++it) {
-    CMat residual = op.apply_mat(z, pool);
+    if (reuse) {
+      residual = sz;
+    } else {
+      op.apply_mat_into(z, residual, pool);
+    }
     residual -= y;
-    CMat grad = op.apply_adjoint_mat(residual, pool);
+    op.apply_adjoint_mat_into(residual, grad, pool);
 
-    CMat x_new = z;
-    grad *= cxd{step, 0.0};
-    x_new -= grad;
-    group_soft_threshold_rows_inplace(x_new, shrink);
+    double l21 = prox_gradient_step(z, grad);
+    op.apply_mat_into(x_new, sx_new, pool);
+    double obj =
+        half_residual_sq(sx_new.data(), y.data(), m * k) + out.kappa * l21;
 
-    double obj = objective(x_new);
     if (accelerated && obj > prev_obj) {
       // Monotone restart (see solve_l1): redo as a plain step from x.
-      CMat res_x = op.apply_mat(x, pool);
-      res_x -= y;
-      CMat grad_x = op.apply_adjoint_mat(res_x, pool);
-      grad_x *= cxd{step, 0.0};
-      x_new = x;
-      x_new -= grad_x;
-      group_soft_threshold_rows_inplace(x_new, shrink);
-      obj = objective(x_new);
+      if (reuse) {
+        residual = sx;
+      } else {
+        op.apply_mat_into(x, residual, pool);
+      }
+      residual -= y;
+      op.apply_adjoint_mat_into(residual, grad, pool);
+      l21 = prox_gradient_step(x, grad);
+      op.apply_mat_into(x_new, sx_new, pool);
+      obj = half_residual_sq(sx_new.data(), y.data(), m * k) + out.kappa * l21;
       t = 1.0;
     }
     out.objective.push_back(obj);
     out.iterations = it;
 
-    CMat diff = x_new;
-    diff -= x;
-    const double rel_change = norm_fro(diff) / std::max(1.0, norm_fro(x_new));
-
+    double beta = 0.0;
     if (accelerated) {
       const double t_new = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
-      const double beta = (t - 1.0) / t_new;
-      z = x_new;
-      diff *= cxd{beta, 0.0};
-      z += diff;
+      beta = (t - 1.0) / t_new;
       t = t_new;
-    } else {
-      z = x_new;
     }
+    double diff_sq = 0.0;
+    double new_sq = 0.0;
+    momentum_update(x_new.data(), x.data(), beta, z.data(), n * k, diff_sq,
+                    new_sq);
+    const double rel_change =
+        std::sqrt(diff_sq) / std::max(1.0, std::sqrt(new_sq));
+    if (reuse) extrapolate(sx_new.data(), sx.data(), beta, sz.data(), m * k);
+
     prev_obj = obj;
-    x = std::move(x_new);
+    std::swap(x, x_new);
+    std::swap(sx, sx_new);
     if (rel_change < cfg.tolerance) {
       out.converged = true;
       break;

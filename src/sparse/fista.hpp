@@ -43,6 +43,15 @@ struct SolveConfig {
   /// power iteration is deterministic, a cached value equals the
   /// per-call one exactly — solutions are bit-identical either way.
   double lipschitz_hint = -1.0;
+  /// Reuse cached forward applications across iterations: S z is formed
+  /// from the momentum identity S z = (1 + beta) S x_new - beta S x_prev
+  /// instead of a fresh operator application, cutting the per-iteration
+  /// operator cost from 3 applications to 2 (the objective evaluation's
+  /// S x_new is kept and becomes the next iterate's cached value). The
+  /// identity is exact in exact arithmetic; in floating point iterates
+  /// match the direct path to solver tolerance (see DESIGN.md). false
+  /// recovers the direct 3-application path.
+  bool reuse_applies = true;
 };
 
 /// Result of a single-snapshot solve.

@@ -1,37 +1,47 @@
 #include "sparse/operator.hpp"
 
+#include <cstring>
+#include <stdexcept>
+
+#include "linalg/gemm.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace roarray::sparse {
 
-CMat LinearOperator::apply_mat(const CMat& x) const {
-  CMat y(rows(), x.cols());
-  for (index_t j = 0; j < x.cols(); ++j) y.set_col(j, apply(x.col_vec(j)));
-  return y;
+using linalg::gemm;
+using linalg::gemm_adj_left;
+using linalg::matmul_blocked;
+
+namespace {
+
+void ensure_shape(CMat& m, index_t rows, index_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m = CMat(rows, cols);
 }
 
-CMat LinearOperator::apply_adjoint_mat(const CMat& y) const {
-  CMat x(cols(), y.cols());
-  for (index_t j = 0; j < y.cols(); ++j) x.set_col(j, apply_adjoint(y.col_vec(j)));
-  return x;
-}
+}  // namespace
 
-CMat LinearOperator::apply_mat(const CMat& x,
-                               const runtime::ThreadPool* pool) const {
-  if (pool == nullptr || x.cols() < 2) return apply_mat(x);
-  CMat y(rows(), x.cols());
+void LinearOperator::apply_mat_into(const CMat& x, CMat& y,
+                                    const runtime::ThreadPool* pool) const {
+  ensure_shape(y, rows(), x.cols());
+  if (pool == nullptr || x.cols() < 2) {
+    for (index_t j = 0; j < x.cols(); ++j) y.set_col(j, apply(x.col_vec(j)));
+    return;
+  }
   pool->parallel_for(x.cols(),
                      [&](index_t j) { y.set_col(j, apply(x.col_vec(j))); });
-  return y;
 }
 
-CMat LinearOperator::apply_adjoint_mat(const CMat& y,
-                                       const runtime::ThreadPool* pool) const {
-  if (pool == nullptr || y.cols() < 2) return apply_adjoint_mat(y);
-  CMat x(cols(), y.cols());
+void LinearOperator::apply_adjoint_mat_into(
+    const CMat& y, CMat& x, const runtime::ThreadPool* pool) const {
+  ensure_shape(x, cols(), y.cols());
+  if (pool == nullptr || y.cols() < 2) {
+    for (index_t j = 0; j < y.cols(); ++j) {
+      x.set_col(j, apply_adjoint(y.col_vec(j)));
+    }
+    return;
+  }
   pool->parallel_for(y.cols(),
                      [&](index_t j) { x.set_col(j, apply_adjoint(y.col_vec(j))); });
-  return x;
 }
 
 CMat LinearOperator::row_gram() const {
@@ -45,70 +55,179 @@ CMat LinearOperator::row_gram() const {
   return g;
 }
 
-CVec DenseOperator::apply(const CVec& x) const { return matvec(s_, x); }
+CVec DenseOperator::apply(const CVec& x) const {
+  if (x.size() != s_.cols()) {
+    throw std::invalid_argument("DenseOperator::apply: size");
+  }
+  CVec y(s_.rows());
+  gemm(s_.rows(), 1, s_.cols(), s_.data(), x.data(), y.data(), nullptr);
+  return y;
+}
 
-CVec DenseOperator::apply_adjoint(const CVec& y) const { return matvec_adj(s_, y); }
+CVec DenseOperator::apply_adjoint(const CVec& y) const {
+  if (y.size() != s_.rows()) {
+    throw std::invalid_argument("DenseOperator::apply_adjoint: size");
+  }
+  CVec x(s_.cols());
+  gemm_adj_left(s_.cols(), 1, s_.rows(), s_.data(), y.data(), x.data(),
+                nullptr);
+  return x;
+}
 
-CMat DenseOperator::row_gram() const { return matmul(s_, adjoint(s_)); }
+void DenseOperator::apply_mat_into(const CMat& x, CMat& y,
+                                   const runtime::ThreadPool* pool) const {
+  if (x.rows() != s_.cols()) {
+    throw std::invalid_argument("DenseOperator::apply_mat: rows");
+  }
+  ensure_shape(y, s_.rows(), x.cols());
+  gemm(s_.rows(), x.cols(), s_.cols(), s_.data(), x.data(), y.data(), pool);
+}
 
-CVec KroneckerOperator::apply(const CVec& x) const {
+void DenseOperator::apply_adjoint_mat_into(
+    const CMat& y, CMat& x, const runtime::ThreadPool* pool) const {
+  if (y.rows() != s_.rows()) {
+    throw std::invalid_argument("DenseOperator::apply_adjoint_mat: rows");
+  }
+  ensure_shape(x, s_.cols(), y.cols());
+  gemm_adj_left(s_.cols(), y.cols(), s_.rows(), s_.data(), y.data(), x.data(),
+                pool);
+}
+
+CMat DenseOperator::row_gram() const {
+  return matmul_blocked(s_, adjoint(s_));
+}
+
+// The reshape trick. A column-major block X of k unknown columns
+// (each N_l*N_r, AoA-fastest) is, viewed in memory, an N_l x (N_r*k)
+// matrix whose column (c*N_r + j) holds snapshot c's AoA slice at ToA
+// bin j. Likewise an output block Y (each column M*L, antenna-fastest)
+// is an M x (L*k) matrix. The forward map per snapshot c is
+//   Y_c = left * X_c * right^T,
+// so the whole block is:
+//   (1) B = left * X           one GEMM over all N_r*k columns,
+//   (2) permute B (M x N_r*k) into B' (M*k x N_r): row (c*M + r),
+//   (3) Y' = B' * right^T      one GEMM, rows = M*k,
+//   (4) scatter Y' back to Y (column c, entry l*M + r).
+// The permutations move contiguous M-element runs (memcpy), and each
+// GEMM output element is produced by exactly one tile, so the result is
+// bit-identical at any thread count and matches the per-column path to
+// rounding.
+void KroneckerOperator::apply_batched(const cxd* x, index_t k, cxd* y,
+                                      const runtime::ThreadPool* pool) const {
   const index_t m = left_.rows(), nl = left_.cols();
   const index_t l = right_.rows(), nr = right_.cols();
-  if (x.size() != nl * nr) throw std::invalid_argument("KroneckerOperator::apply: size");
-  // X(i, j) = x[j * nl + i]; B = left * X (m x nr); Y = B * right^T (m x l).
-  CMat b(m, nr);
-  for (index_t j = 0; j < nr; ++j) {
-    for (index_t i = 0; i < nl; ++i) {
-      const cxd xij = x[j * nl + i];
-      if (xij == cxd{}) continue;
-      auto lc = left_.col(i);
-      for (index_t r = 0; r < m; ++r) b(r, j) += lc[static_cast<std::size_t>(r)] * xij;
+
+  CMat b(m, nr * k);
+  gemm(m, nr * k, nl, left_.data(), x, b.data(), pool);
+
+  if (k == 1) {
+    // Y' == Y for a single snapshot: skip both permutations.
+    gemm(m, l, nr, b.data(), right_t_.data(), y, pool);
+    return;
+  }
+
+  CMat bp(m * k, nr);
+  for (index_t c = 0; c < k; ++c) {
+    for (index_t j = 0; j < nr; ++j) {
+      std::memcpy(bp.data() + j * (m * k) + c * m,
+                  b.data() + (c * nr + j) * m,
+                  static_cast<std::size_t>(m) * sizeof(cxd));
     }
   }
-  CVec y(m * l);
-  for (index_t j = 0; j < nr; ++j) {
-    auto rc = right_.col(j);
+
+  CMat yp(m * k, l);
+  gemm(m * k, l, nr, bp.data(), right_t_.data(), yp.data(), pool);
+
+  for (index_t c = 0; c < k; ++c) {
     for (index_t li = 0; li < l; ++li) {
-      const cxd rj = rc[static_cast<std::size_t>(li)];
-      for (index_t r = 0; r < m; ++r) y[li * m + r] += b(r, j) * rj;
+      std::memcpy(y + c * (m * l) + li * m,
+                  yp.data() + li * (m * k) + c * m,
+                  static_cast<std::size_t>(m) * sizeof(cxd));
     }
   }
+}
+
+// Adjoint of the same factorization: X_c = left^H * (Y_c * conj(right)),
+// batched as gather -> GEMM -> permute -> GEMM. The final product runs
+// against the precomputed left^H rather than a dot-product adjoint
+// kernel: its inner dimension is the tiny antenna count, so streaming
+// down contiguous N_l columns beats length-M dots. It writes straight
+// into the caller's x block (its column layout is exactly the
+// N_l x (N_r*k) view of the unknowns).
+void KroneckerOperator::apply_adjoint_batched(
+    const cxd* y, index_t k, cxd* x, const runtime::ThreadPool* pool) const {
+  const index_t m = left_.rows(), nl = left_.cols();
+  const index_t l = right_.rows(), nr = right_.cols();
+
+  CMat bp(m * k, nr);
+  if (k == 1) {
+    gemm(m, nr, l, y, right_conj_.data(), bp.data(), pool);
+    gemm(nl, nr, m, left_adj_.data(), bp.data(), x, pool);
+    return;
+  }
+
+  CMat yp(m * k, l);
+  for (index_t c = 0; c < k; ++c) {
+    for (index_t li = 0; li < l; ++li) {
+      std::memcpy(yp.data() + li * (m * k) + c * m,
+                  y + c * (m * l) + li * m,
+                  static_cast<std::size_t>(m) * sizeof(cxd));
+    }
+  }
+
+  gemm(m * k, nr, l, yp.data(), right_conj_.data(), bp.data(), pool);
+
+  CMat b(m, nr * k);
+  for (index_t c = 0; c < k; ++c) {
+    for (index_t j = 0; j < nr; ++j) {
+      std::memcpy(b.data() + (c * nr + j) * m,
+                  bp.data() + j * (m * k) + c * m,
+                  static_cast<std::size_t>(m) * sizeof(cxd));
+    }
+  }
+
+  gemm(nl, nr * k, m, left_adj_.data(), b.data(), x, pool);
+}
+
+CVec KroneckerOperator::apply(const CVec& x) const {
+  if (x.size() != cols()) {
+    throw std::invalid_argument("KroneckerOperator::apply: size");
+  }
+  CVec y(rows());
+  apply_batched(x.data(), 1, y.data(), nullptr);
   return y;
 }
 
 CVec KroneckerOperator::apply_adjoint(const CVec& y) const {
-  const index_t m = left_.rows(), nl = left_.cols();
-  const index_t l = right_.rows(), nr = right_.cols();
-  if (y.size() != m * l) {
+  if (y.size() != rows()) {
     throw std::invalid_argument("KroneckerOperator::apply_adjoint: size");
   }
-  // Y(r, li) = y[li * m + r]; B = Y * conj(right) (m x nr);
-  // X = left^H * B (nl x nr); x[j * nl + i] = X(i, j).
-  CMat b(m, nr);
-  for (index_t j = 0; j < nr; ++j) {
-    auto rc = right_.col(j);
-    for (index_t li = 0; li < l; ++li) {
-      const cxd rj = std::conj(rc[static_cast<std::size_t>(li)]);
-      for (index_t r = 0; r < m; ++r) b(r, j) += y[li * m + r] * rj;
-    }
-  }
-  CVec x(nl * nr);
-  for (index_t j = 0; j < nr; ++j) {
-    for (index_t i = 0; i < nl; ++i) {
-      auto lc = left_.col(i);
-      cxd acc{};
-      for (index_t r = 0; r < m; ++r) {
-        acc += std::conj(lc[static_cast<std::size_t>(r)]) * b(r, j);
-      }
-      x[j * nl + i] = acc;
-    }
-  }
+  CVec x(cols());
+  apply_adjoint_batched(y.data(), 1, x.data(), nullptr);
   return x;
 }
 
+void KroneckerOperator::apply_mat_into(const CMat& x, CMat& y,
+                                       const runtime::ThreadPool* pool) const {
+  if (x.rows() != cols()) {
+    throw std::invalid_argument("KroneckerOperator::apply_mat: rows");
+  }
+  ensure_shape(y, rows(), x.cols());
+  if (x.cols() > 0) apply_batched(x.data(), x.cols(), y.data(), pool);
+}
+
+void KroneckerOperator::apply_adjoint_mat_into(
+    const CMat& y, CMat& x, const runtime::ThreadPool* pool) const {
+  if (y.rows() != rows()) {
+    throw std::invalid_argument("KroneckerOperator::apply_adjoint_mat: rows");
+  }
+  ensure_shape(x, cols(), y.cols());
+  if (y.cols() > 0) apply_adjoint_batched(y.data(), y.cols(), x.data(), pool);
+}
+
 CMat KroneckerOperator::row_gram() const {
-  const CMat gl = matmul(left_, adjoint(left_));    // m x m
-  const CMat gr = matmul(right_, adjoint(right_));  // l x l
+  const CMat gl = matmul_blocked(left_, left_adj_);         // m x m
+  const CMat gr = matmul_blocked(right_, adjoint(right_));  // l x l
   const index_t m = gl.rows();
   const index_t l = gr.rows();
   CMat g(m * l, m * l);

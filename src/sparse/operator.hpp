@@ -5,7 +5,11 @@
 // a dense wrapper and a Kronecker-structured operator exploiting the
 // separable AoA x ToA structure of the joint steering matrix (paper
 // Eq. 16), which turns the dominant matvec cost from O(M*L*Nth*Ntau)
-// into O(M*Nth*Ntau + M*L*Ntau).
+// into O(M*Nth*Ntau + M*L*Ntau). Both route their matrix products
+// through the blocked GEMM kernels in linalg/gemm.hpp; the Kronecker
+// operator additionally batches all snapshot columns of apply_mat /
+// apply_adjoint_mat into three GEMMs via the reshape trick (see
+// DESIGN.md "Operator fast path").
 #pragma once
 
 #include <memory>
@@ -27,11 +31,6 @@ using linalg::index_t;
 /// A complex linear map S : C^cols -> C^rows with adjoint access.
 class LinearOperator {
  public:
-  LinearOperator() = default;
-  LinearOperator(const LinearOperator&) = default;
-  LinearOperator& operator=(const LinearOperator&) = default;
-  LinearOperator(LinearOperator&&) = default;
-  LinearOperator& operator=(LinearOperator&&) = default;
   virtual ~LinearOperator() = default;
 
   [[nodiscard]] virtual index_t rows() const noexcept = 0;
@@ -43,27 +42,54 @@ class LinearOperator {
   /// x = S^H y.
   [[nodiscard]] virtual CVec apply_adjoint(const CVec& y) const = 0;
 
-  /// Column-wise application to a multi-snapshot matrix (n x k -> m x k).
-  [[nodiscard]] virtual CMat apply_mat(const CMat& x) const;
+  /// Application to a multi-snapshot matrix, written into y (n x k ->
+  /// m x k). The default loops apply() over columns, fanning out across
+  /// the pool when one is given (each column writes its own contiguous
+  /// slice — bit-identical to the serial loop). Implementations may
+  /// batch all columns at once; null pool = serial. y is resized if its
+  /// shape is wrong and must not alias x; callers that keep a
+  /// correctly-sized y across calls (the solvers' hot loops do) pay no
+  /// per-call allocation or zero-fill.
+  virtual void apply_mat_into(const CMat& x, CMat& y,
+                              const runtime::ThreadPool* pool) const;
 
-  /// Column-wise adjoint application (m x k -> n x k).
-  [[nodiscard]] virtual CMat apply_adjoint_mat(const CMat& y) const;
+  /// Adjoint application to a multi-snapshot matrix, written into x
+  /// (m x k -> n x k). Same contract as apply_mat_into.
+  virtual void apply_adjoint_mat_into(const CMat& y, CMat& x,
+                                      const runtime::ThreadPool* pool) const;
 
-  /// Pooled variants: snapshot columns are independent, so they fan out
-  /// across the pool (each column writes its own contiguous slice —
-  /// bit-identical to the serial loop). Null pool = serial.
+  /// Allocating conveniences (forward to the _into virtuals).
   [[nodiscard]] CMat apply_mat(const CMat& x,
-                               const runtime::ThreadPool* pool) const;
-  [[nodiscard]] CMat apply_adjoint_mat(const CMat& y,
-                                       const runtime::ThreadPool* pool) const;
+                               const runtime::ThreadPool* pool = nullptr) const {
+    CMat y;
+    apply_mat_into(x, y, pool);
+    return y;
+  }
+  [[nodiscard]] CMat apply_adjoint_mat(
+      const CMat& y, const runtime::ThreadPool* pool = nullptr) const {
+    CMat x;
+    apply_adjoint_mat_into(y, x, pool);
+    return x;
+  }
 
   /// The small Gram matrix G = S S^H (rows x rows), used by ADMM through
   /// the Woodbury identity. Default builds it column by column via
   /// apply(apply_adjoint(e_i)).
   [[nodiscard]] virtual CMat row_gram() const;
+
+ protected:
+  // Copy/move are protected: this is an abstract base, and public copy
+  // operations on a base reference invite accidental slicing. Concrete
+  // operators remain freely copyable.
+  LinearOperator() = default;
+  LinearOperator(const LinearOperator&) = default;
+  LinearOperator& operator=(const LinearOperator&) = default;
+  LinearOperator(LinearOperator&&) = default;
+  LinearOperator& operator=(LinearOperator&&) = default;
 };
 
-/// Dense operator wrapping an explicit matrix.
+/// Dense operator wrapping an explicit matrix. Matrix products run
+/// through the blocked GEMM (linalg/gemm.hpp).
 class DenseOperator final : public LinearOperator {
  public:
   explicit DenseOperator(CMat s) : s_(std::move(s)) {}
@@ -72,6 +98,10 @@ class DenseOperator final : public LinearOperator {
   [[nodiscard]] index_t cols() const noexcept override { return s_.cols(); }
   [[nodiscard]] CVec apply(const CVec& x) const override;
   [[nodiscard]] CVec apply_adjoint(const CVec& y) const override;
+  void apply_mat_into(const CMat& x, CMat& y,
+                      const runtime::ThreadPool* pool) const override;
+  void apply_adjoint_mat_into(const CMat& y, CMat& x,
+                              const runtime::ThreadPool* pool) const override;
   [[nodiscard]] CMat row_gram() const override;
 
   [[nodiscard]] const CMat& matrix() const noexcept { return s_; }
@@ -87,10 +117,25 @@ class DenseOperator final : public LinearOperator {
 /// Index conventions match the paper's CSI stacking (Eq. 15/16):
 /// output index l * M + m (antenna-fastest), unknown index j * N_l + i
 /// (AoA-fastest), so column (i, j) equals right.col(j) (x) left.col(i).
+///
+/// apply_mat / apply_adjoint_mat process all snapshot columns at once:
+/// the column-major unknown block X (N_l*N_r x K) *is* an N_l x (N_r*K)
+/// matrix, so the forward map is three batched GEMMs (left * X, a
+/// deterministic permutation, * right^T) instead of K per-column
+/// applies — parallelism comes from the GEMM output tiles, not from the
+/// K snapshot columns.
 class KroneckerOperator final : public LinearOperator {
  public:
+  /// The constructor precomputes the factor transposes the batched
+  /// kernels consume (right^T for the forward map, conj(right) and
+  /// left^H for the adjoint) so no per-application rearrangement or
+  /// allocation is needed; they are immutable, so sharing one operator
+  /// across threads stays safe.
   KroneckerOperator(CMat left, CMat right)
-      : left_(std::move(left)), right_(std::move(right)) {}
+      : left_(std::move(left)), right_(std::move(right)),
+        left_adj_(linalg::adjoint(left_)),
+        right_t_(linalg::transpose(right_)),
+        right_conj_(linalg::conjugate(right_)) {}
 
   [[nodiscard]] index_t rows() const noexcept override {
     return left_.rows() * right_.rows();
@@ -100,6 +145,10 @@ class KroneckerOperator final : public LinearOperator {
   }
   [[nodiscard]] CVec apply(const CVec& x) const override;
   [[nodiscard]] CVec apply_adjoint(const CVec& y) const override;
+  void apply_mat_into(const CMat& x, CMat& y,
+                      const runtime::ThreadPool* pool) const override;
+  void apply_adjoint_mat_into(const CMat& y, CMat& x,
+                              const runtime::ThreadPool* pool) const override;
 
   /// G = (right right^H) (x) (left left^H), formed from the two small
   /// factor Grams — never touches the full column dimension.
@@ -112,8 +161,18 @@ class KroneckerOperator final : public LinearOperator {
   [[nodiscard]] CMat to_dense() const;
 
  private:
-  CMat left_;   // M x N_l
-  CMat right_;  // L x N_r
+  /// Batched forward/adjoint kernel shared by apply and apply_mat:
+  /// x and y are column-major blocks of k snapshot columns.
+  void apply_batched(const cxd* x, index_t k, cxd* y,
+                     const runtime::ThreadPool* pool) const;
+  void apply_adjoint_batched(const cxd* y, index_t k, cxd* x,
+                             const runtime::ThreadPool* pool) const;
+
+  CMat left_;        // M x N_l
+  CMat right_;       // L x N_r
+  CMat left_adj_;    // left^H (N_l x M), precomputed for the adjoint
+  CMat right_t_;     // right^T (N_r x L), precomputed for the forward
+  CMat right_conj_;  // conj(right) (L x N_r), precomputed for the adjoint
 };
 
 }  // namespace roarray::sparse

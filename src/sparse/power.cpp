@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace roarray::sparse {
 
@@ -15,23 +16,30 @@ double operator_norm_sq(const LinearOperator& op, int iterations) {
   if (n == 0 || op.rows() == 0) return 0.0;
   // Deterministic pseudo-random start vector: avoids pathological
   // alignment with an eigen-null direction without seeding a real RNG.
-  CVec v(n);
+  // The iteration runs on single-column matrices through the _into
+  // interface so the round trips recycle their buffers (resolve_step
+  // calls this once per solve when no Lipschitz hint is cached); the
+  // values match the vector-interface formulation bit for bit.
+  CMat v(n, 1);
   double seed = 0.5;
   for (index_t i = 0; i < n; ++i) {
     seed = std::fmod(seed * 997.0 + 1.0, 1.0) + 0.1;
-    v[i] = cxd{seed, 0.37 * seed + 0.01};
+    v(i, 0) = cxd{seed, 0.37 * seed + 0.01};
   }
-  double nv = norm2(v);
+  double nv = norm_fro(v);
   v *= cxd{1.0 / nv, 0.0};
 
+  CMat sv(op.rows(), 1);
+  CMat w(n, 1);
   double lambda = 0.0;
   for (int it = 0; it < iterations; ++it) {
-    CVec w = op.apply_adjoint(op.apply(v));
-    const double nw = norm2(w);
+    op.apply_mat_into(v, sv, nullptr);
+    op.apply_adjoint_mat_into(sv, w, nullptr);
+    const double nw = norm_fro(w);
     if (nw <= 0.0) return 0.0;
     lambda = nw;  // ||S^H S v|| -> lambda_max as v converges
     w *= cxd{1.0 / nw, 0.0};
-    v = std::move(w);
+    std::swap(v, w);
   }
   return lambda;
 }

@@ -131,6 +131,9 @@ TEST(Matrix, FrobeniusNormMatchesVectorization) {
   for (index_t j = 0; j < 4; ++j)
     for (index_t i = 0; i < 4; ++i) acc += std::norm(a(i, j));
   EXPECT_NEAR(norm_fro(a), std::sqrt(acc), 1e-12);
+  // The squared variant must be the pre-sqrt accumulator exactly (it
+  // exists so callers never compute sqrt-then-square).
+  EXPECT_DOUBLE_EQ(norm_fro_sq(a), acc);
 }
 
 TEST(Matrix, ArithmeticOperators) {

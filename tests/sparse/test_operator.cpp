@@ -4,6 +4,7 @@
 
 #include "dsp/grid.hpp"
 #include "dsp/steering.hpp"
+#include "runtime/thread_pool.hpp"
 #include "../test_util.hpp"
 
 namespace roarray::sparse {
@@ -134,6 +135,109 @@ TEST(Kronecker, GenericFactorsAgainstExplicitKroneckerProduct) {
   const CVec y = rt::random_cvec(15, rng);
   rt::expect_vec_near(op.apply_adjoint(y), matvec_adj(full, y), 1e-10,
                       "generic adjoint");
+}
+
+// Non-square factors with four pairwise-distinct dimensions (M=4, Nl=7,
+// L=6, Nr=3): catches any transposed-dimension mix-up in the batched
+// reshape path that square or matching shapes would mask.
+class KroneckerNonSquare : public ::testing::Test {
+ protected:
+  KroneckerNonSquare() {
+    auto rng = rt::make_rng(68);
+    left_ = rt::random_cmat(4, 7, rng);   // M x Nl
+    right_ = rt::random_cmat(6, 3, rng);  // L x Nr
+    op_ = std::make_unique<KroneckerOperator>(left_, right_);
+    full_ = CMat(24, 21);
+    for (index_t j = 0; j < 3; ++j)
+      for (index_t i = 0; i < 7; ++i)
+        for (index_t l = 0; l < 6; ++l)
+          for (index_t m = 0; m < 4; ++m)
+            full_(l * 4 + m, j * 7 + i) = right_(l, j) * left_(m, i);
+  }
+
+  CMat left_, right_, full_;
+  std::unique_ptr<KroneckerOperator> op_;
+};
+
+TEST_F(KroneckerNonSquare, ApplyAndAdjointMatchExplicitProduct) {
+  auto rng = rt::make_rng(69);
+  EXPECT_EQ(op_->rows(), 24);
+  EXPECT_EQ(op_->cols(), 21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const CVec x = rt::random_cvec(21, rng);
+    rt::expect_vec_near(op_->apply(x), matvec(full_, x), 1e-10, "apply");
+    const CVec y = rt::random_cvec(24, rng);
+    rt::expect_vec_near(op_->apply_adjoint(y), matvec_adj(full_, y), 1e-10,
+                        "adjoint");
+  }
+}
+
+TEST_F(KroneckerNonSquare, BatchedMatApplyIdenticalToPerColumn) {
+  // The batched reshape-trick override must reproduce the per-column
+  // base-class path bit for bit (same GEMM kernels, same per-element
+  // reduction order).
+  auto rng = rt::make_rng(70);
+  const CMat x = rt::random_cmat(21, 5, rng);
+  const CMat batched = op_->apply_mat(x);
+  CMat percol;
+  op_->LinearOperator::apply_mat_into(x, percol, nullptr);
+  ASSERT_EQ(batched.rows(), percol.rows());
+  ASSERT_EQ(batched.cols(), percol.cols());
+  for (index_t j = 0; j < batched.cols(); ++j) {
+    for (index_t i = 0; i < batched.rows(); ++i) {
+      EXPECT_EQ(batched(i, j), percol(i, j)) << "at (" << i << "," << j << ")";
+    }
+  }
+  rt::expect_mat_near(batched, matmul(full_, x), 1e-10, "vs dense");
+
+  const CMat y = rt::random_cmat(24, 5, rng);
+  const CMat adj_batched = op_->apply_adjoint_mat(y);
+  CMat adj_percol;
+  op_->LinearOperator::apply_adjoint_mat_into(y, adj_percol, nullptr);
+  for (index_t j = 0; j < adj_batched.cols(); ++j) {
+    for (index_t i = 0; i < adj_batched.rows(); ++i) {
+      EXPECT_EQ(adj_batched(i, j), adj_percol(i, j)) << "adjoint";
+    }
+  }
+  rt::expect_mat_near(adj_batched, matmul_adj_left(full_, y), 1e-10,
+                      "adjoint vs dense");
+}
+
+TEST_F(KroneckerNonSquare, PooledMatApplyIdenticalToSerial) {
+  auto rng = rt::make_rng(71);
+  runtime::ThreadPool pool(3);
+  const CMat x = rt::random_cmat(21, 4, rng);
+  const CMat serial = op_->apply_mat(x);
+  const CMat pooled = op_->apply_mat(x, &pool);
+  for (index_t j = 0; j < serial.cols(); ++j) {
+    for (index_t i = 0; i < serial.rows(); ++i) {
+      EXPECT_EQ(serial(i, j), pooled(i, j)) << "pooled forward";
+    }
+  }
+  const CMat y = rt::random_cmat(24, 4, rng);
+  const CMat adj_serial = op_->apply_adjoint_mat(y);
+  const CMat adj_pooled = op_->apply_adjoint_mat(y, &pool);
+  for (index_t j = 0; j < adj_serial.cols(); ++j) {
+    for (index_t i = 0; i < adj_serial.rows(); ++i) {
+      EXPECT_EQ(adj_serial(i, j), adj_pooled(i, j)) << "pooled adjoint";
+    }
+  }
+}
+
+TEST_F(KroneckerNonSquare, RowGramAndToDenseMatchExplicitProduct) {
+  rt::expect_mat_near(op_->to_dense(), full_, 1e-10, "to_dense");
+  rt::expect_mat_near(op_->row_gram(), matmul(full_, adjoint(full_)), 1e-9,
+                      "row_gram");
+}
+
+TEST_F(KroneckerNonSquare, MatShapeMismatchThrows) {
+  CMat out;
+  const CMat bad_x(20, 2);
+  EXPECT_THROW(op_->apply_mat_into(bad_x, out, nullptr),
+               std::invalid_argument);
+  const CMat bad_y(25, 2);
+  EXPECT_THROW(op_->apply_adjoint_mat_into(bad_y, out, nullptr),
+               std::invalid_argument);
 }
 
 }  // namespace
