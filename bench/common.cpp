@@ -5,6 +5,8 @@
 #include <cstring>
 #include <random>
 
+#include "runtime/seed.hpp"
+
 namespace roarray::bench {
 
 BenchOptions parse_options(int argc, char** argv) {
@@ -48,13 +50,7 @@ BenchOptions parse_options(int argc, char** argv) {
 }
 
 std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t index) {
-  // splitmix64 finalizer: decorrelates adjacent (seed, index) pairs so
-  // per-location streams don't overlap.
-  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+  return runtime::derive_seed(seed, index);
 }
 
 const char* system_name(System s) {

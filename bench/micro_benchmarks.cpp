@@ -7,12 +7,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <string>
 
 #include "channel/csi.hpp"
 #include "common.hpp"
 #include "core/roarray.hpp"
+#include "eval/report.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/sanitize.hpp"
 #include "dsp/steering.hpp"
@@ -404,7 +406,9 @@ bool same_samples(const std::vector<bench::SystemErrors>& a,
   return true;
 }
 
-void write_micro_report(const char* path) {
+/// Returns false when the report could not be written (the CI smoke leg
+/// depends on the file existing, so a write failure must fail the run).
+[[nodiscard]] bool write_micro_report(const char* path) {
   using clock = std::chrono::steady_clock;
   const dsp::Grid aoa = dsp::default_aoa_grid();
   const dsp::Grid toa = dsp::default_toa_grid();
@@ -610,72 +614,71 @@ void write_micro_report(const char* path) {
   const bool cached_identical = same_samples(serial_percall, serial_cached);
   const bool parallel_identical = same_samples(serial_cached, parallel_cached);
 
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"threads\": %d,\n", par_opts.threads);
-  std::fprintf(f, "  \"hardware_threads\": %d,\n",
-               runtime::ThreadPool::default_thread_count());
-  std::fprintf(f,
-               "  \"workload\": {\"figure\": \"fig6-subset\", \"locations\": "
-               "%lld, \"packets\": %lld, \"aps\": 6, \"band\": \"medium\"},\n",
-               static_cast<long long>(opts.locations),
-               static_cast<long long>(opts.packets));
-  std::fprintf(f,
-               "  \"op_setup\": {\"uncached_ms\": %.3f, \"cached_hit_ms\": "
-               "%.4f, \"speedup\": %.1f},\n",
-               setup_uncached_ms, setup_cached_ms,
-               setup_uncached_ms / std::max(setup_cached_ms, 1e-6));
-  std::fprintf(f,
-               "  \"solve\": {\"lipschitz_per_call_ms\": %.3f, "
-               "\"cached_hint_ms\": %.3f, \"speedup\": %.2f},\n",
-               solve_percall_ms, solve_cached_ms,
-               solve_percall_ms / std::max(solve_cached_ms, 1e-6));
-  std::fprintf(f, "  \"kernels\": {\n");
-  std::fprintf(f, "    \"gemm_blocked_ms\": %.3f,\n", gemm_blocked_ms);
-  std::fprintf(f, "    \"gemm_naive_ms\": %.3f,\n", gemm_naive_ms);
-  std::fprintf(f, "    \"gemm_blocked_speedup\": %.2f,\n",
-               gemm_naive_ms / std::max(gemm_blocked_ms, 1e-6));
-  std::fprintf(f, "    \"gemm_blocked_max_abs_diff\": %.3e,\n",
-               gemm_max_abs_diff);
-  std::fprintf(f, "    \"gemm_blocked_matches_naive\": %s,\n",
-               gemm_matches ? "true" : "false");
-  std::fprintf(f, "    \"kron_apply_mat_batched_ms\": %.4f,\n",
-               kron_batched_ms);
-  std::fprintf(f, "    \"kron_apply_mat_percolumn_ms\": %.4f,\n",
-               kron_percol_ms);
-  std::fprintf(f, "    \"kron_batched_speedup\": %.2f,\n",
-               kron_percol_ms / std::max(kron_batched_ms, 1e-6));
-  std::fprintf(f, "    \"kron_batched_identical_to_percolumn\": %s,\n",
-               kron_identical ? "true" : "false");
-  std::fprintf(f, "    \"fista_reuse_ms\": %.3f,\n", fista_reuse_ms);
-  std::fprintf(f, "    \"fista_direct_ms\": %.3f,\n", fista_direct_ms);
-  std::fprintf(f, "    \"fista_reuse_speedup\": %.2f,\n",
-               fista_direct_ms / std::max(fista_reuse_ms, 1e-6));
-  std::fprintf(f, "    \"fista_reuse_max_rel_diff\": %.3e,\n", fista_rel_diff);
-  std::fprintf(f, "    \"fista_reuse_matches_direct\": %s\n",
-               fista_matches ? "true" : "false");
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"fig6_end_to_end\": {\n");
-  std::fprintf(f, "    \"serial_percall_ms\": %.1f,\n", e2e_percall_ms);
-  std::fprintf(f, "    \"serial_cached_ms\": %.1f,\n", e2e_serial_cached_ms);
-  std::fprintf(f, "    \"parallel_cached_ms\": %.1f,\n", e2e_parallel_ms);
-  std::fprintf(f, "    \"cached_speedup_vs_percall\": %.2f,\n",
-               e2e_percall_ms / std::max(e2e_serial_cached_ms, 1e-6));
-  std::fprintf(f, "    \"parallel_cached_speedup_vs_percall\": %.2f,\n",
-               e2e_percall_ms / std::max(e2e_parallel_ms, 1e-6));
-  std::fprintf(f, "    \"cached_identical_to_percall\": %s,\n",
-               cached_identical ? "true" : "false");
-  std::fprintf(f, "    \"parallel_identical_to_serial\": %s\n",
-               parallel_identical ? "true" : "false");
-  std::fprintf(f, "  }\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  eval::JsonWriter w(f);
+  w.begin_object();
+  w.key("threads").value(par_opts.threads);
+  w.key("hardware_threads").value(runtime::ThreadPool::default_thread_count());
+  w.key("workload").begin_object();
+  w.key("figure").value("fig6-subset");
+  w.key("locations").value(static_cast<std::int64_t>(opts.locations));
+  w.key("packets").value(static_cast<std::int64_t>(opts.packets));
+  w.key("aps").value(6);
+  w.key("band").value("medium");
+  w.end_object();
+  w.key("op_setup").begin_object();
+  w.key("uncached_ms").value(setup_uncached_ms);
+  w.key("cached_hit_ms").value(setup_cached_ms);
+  w.key("speedup").value(setup_uncached_ms / std::max(setup_cached_ms, 1e-6));
+  w.end_object();
+  w.key("solve").begin_object();
+  w.key("lipschitz_per_call_ms").value(solve_percall_ms);
+  w.key("cached_hint_ms").value(solve_cached_ms);
+  w.key("speedup").value(solve_percall_ms / std::max(solve_cached_ms, 1e-6));
+  w.end_object();
+  w.key("kernels").begin_object();
+  w.key("gemm_blocked_ms").value(gemm_blocked_ms);
+  w.key("gemm_naive_ms").value(gemm_naive_ms);
+  w.key("gemm_blocked_speedup")
+      .value(gemm_naive_ms / std::max(gemm_blocked_ms, 1e-6));
+  w.key("gemm_blocked_max_abs_diff").value(gemm_max_abs_diff);
+  w.key("gemm_blocked_matches_naive").value(gemm_matches);
+  w.key("kron_apply_mat_batched_ms").value(kron_batched_ms);
+  w.key("kron_apply_mat_percolumn_ms").value(kron_percol_ms);
+  w.key("kron_batched_speedup")
+      .value(kron_percol_ms / std::max(kron_batched_ms, 1e-6));
+  w.key("kron_batched_identical_to_percolumn").value(kron_identical);
+  w.key("fista_reuse_ms").value(fista_reuse_ms);
+  w.key("fista_direct_ms").value(fista_direct_ms);
+  w.key("fista_reuse_speedup")
+      .value(fista_direct_ms / std::max(fista_reuse_ms, 1e-6));
+  w.key("fista_reuse_max_rel_diff").value(fista_rel_diff);
+  w.key("fista_reuse_matches_direct").value(fista_matches);
+  w.end_object();
+  w.key("fig6_end_to_end").begin_object();
+  w.key("serial_percall_ms").value(e2e_percall_ms);
+  w.key("serial_cached_ms").value(e2e_serial_cached_ms);
+  w.key("parallel_cached_ms").value(e2e_parallel_ms);
+  w.key("cached_speedup_vs_percall")
+      .value(e2e_percall_ms / std::max(e2e_serial_cached_ms, 1e-6));
+  w.key("parallel_cached_speedup_vs_percall")
+      .value(e2e_percall_ms / std::max(e2e_parallel_ms, 1e-6));
+  w.key("cached_identical_to_percall").value(cached_identical);
+  w.key("parallel_identical_to_serial").value(parallel_identical);
+  w.end_object();
+  w.end_object();
+  f.flush();
+  if (!f || !w.complete()) {
+    std::fprintf(stderr, "writing %s failed\n", path);
+    return false;
+  }
   std::printf("wrote %s (parallel identical to serial: %s)\n", path,
               parallel_identical ? "yes" : "NO");
+  return true;
 }
 
 }  // namespace
@@ -696,7 +699,7 @@ int main(int argc, char** argv) {
     }
   }
   if (json_path != nullptr) {
-    write_micro_report(json_path);
+    if (!write_micro_report(json_path)) return 1;
     if (rest.size() == 1) return 0;
   }
   int rest_argc = static_cast<int>(rest.size());

@@ -53,10 +53,17 @@ std::vector<Path> trace_paths(const Room& room, const ApPose& ap,
 
   std::vector<Path> paths;
   paths.push_back(make_path(ap, client, 0, cfg, array_cfg));
+  const double direct_toa = paths.front().toa_s;
 
   for (const Vec2& sc : scatterers) {
     if (!room.contains(sc)) {
       throw std::invalid_argument("trace_paths: scatterer outside the room");
+    }
+    // A scatterer sitting on an endpoint forms no distinct bounce path:
+    // at the AP its arrival direction is undefined (zero-length leg),
+    // and at the client it coincides with the direct path. Skip it.
+    if (distance(sc, ap.position) < 1e-9 || distance(client, sc) < 1e-9) {
+      continue;
     }
     const double d1 = std::max(distance(client, sc), 1e-3);
     const double d2 = std::max(distance(sc, ap.position), 1e-3);
@@ -90,16 +97,33 @@ std::vector<Path> trace_paths(const Room& room, const ApPose& ap,
     }
   }
 
-  // Drop negligible paths (keeps the dominant-path count sparse).
+  // Drop negligible paths (keeps the dominant-path count sparse). The
+  // direct path is exempt: it always physically exists (no occlusion in
+  // this model) and anchors the ground truth every downstream consumer
+  // reads from paths.front(), even when a nearby scatterer out-amps it.
   double max_amp = 0.0;
   for (const Path& p : paths) max_amp = std::max(max_amp, std::abs(p.gain));
   const double floor_amp = cfg.min_rel_amplitude * max_amp;
-  std::erase_if(paths, [&](const Path& p) { return std::abs(p.gain) < floor_amp; });
+  std::erase_if(paths, [&](const Path& p) {
+    return p.reflections > 0 && std::abs(p.gain) < floor_amp;
+  });
+
+  // The triangle inequality puts every indirect path at or beyond the
+  // direct ToA, but rounded leg sums can undershoot it by a few ulp
+  // (e.g. a scatterer collinear with the client-AP segment). Clamp so
+  // the contract "paths.front() is the direct path" survives FP.
+  for (Path& p : paths) {
+    if (p.reflections > 0) p.toa_s = std::max(p.toa_s, direct_toa);
+  }
 
   // Deduplicate second-order images that coincide (e.g. corner cases):
   // two paths with nearly identical AoA and ToA merge coherently.
-  std::sort(paths.begin(), paths.end(),
-            [](const Path& x, const Path& y) { return x.toa_s < y.toa_s; });
+  // Ties sort direct-first so an exactly-collinear bounce cannot
+  // displace (or absorb) the direct path.
+  std::sort(paths.begin(), paths.end(), [](const Path& x, const Path& y) {
+    if (x.toa_s != y.toa_s) return x.toa_s < y.toa_s;
+    return x.reflections < y.reflections;
+  });
   std::vector<Path> merged;
   for (const Path& p : paths) {
     if (!merged.empty() &&

@@ -1,0 +1,29 @@
+// Deterministic seed derivation shared by everything that fans a base
+// seed out into independent RNG streams: the bench per-location trial
+// loops, the property-test case scheduler, and any future sharded
+// Monte Carlo driver. Keeping the mixing function in one place means a
+// seed printed by one component (e.g. a proptest failure line)
+// reproduces the exact stream any other component would draw.
+#pragma once
+
+#include <cstdint>
+
+namespace roarray::runtime {
+
+/// splitmix64 finalizer: a bijective avalanche mix on 64-bit values.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stream seed for sub-task `index` of a run seeded with `base`.
+/// Adjacent (base, index) pairs land far apart, so per-index streams
+/// can be consumed in any order (or concurrently) without overlap.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) noexcept {
+  return mix_seed(base + 0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
+}  // namespace roarray::runtime

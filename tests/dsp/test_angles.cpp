@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <complex>
+#include <stdexcept>
+
+#include "dsp/constants.hpp"
+#include "dsp/steering.hpp"
+
 namespace roarray::dsp {
 namespace {
 
@@ -38,6 +44,84 @@ TEST(Angles, FoldToUlaRange) {
   EXPECT_DOUBLE_EQ(fold_to_ula_range(200.0), 160.0);
   EXPECT_DOUBLE_EQ(fold_to_ula_range(-45.0), 45.0);
   EXPECT_DOUBLE_EQ(fold_to_ula_range(359.0), 1.0);
+}
+
+TEST(Angles, RadDegRoundTripBothDirectionsAndLargeMagnitudes) {
+  for (double r : {-3.0 * kPi, -kPi, -0.5, 0.0, 1e-9, kPi / 6.0, 2.0 * kPi}) {
+    EXPECT_NEAR(deg_to_rad(rad_to_deg(r)), r, 1e-15);
+  }
+  // Large magnitudes keep relative (not absolute) precision.
+  for (double d : {-3.6e7, 1e6, 7.2e8}) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(d)), d, 1e-6 * std::abs(d));
+  }
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi / 2.0), 90.0);
+}
+
+TEST(Angles, FoldIsContinuousAndSymmetricAtBroadside) {
+  // +-90 deg is broadside to the ULA axis; folding maps both sides of
+  // the array onto the same [0, 180] range without a jump there.
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(90.0), 90.0);
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(-90.0), 90.0);
+  EXPECT_DOUBLE_EQ(fold_to_ula_range(270.0), 90.0);
+  const double eps = 1e-9;
+  EXPECT_NEAR(fold_to_ula_range(90.0 + eps), 90.0 + eps, 1e-12);
+  EXPECT_NEAR(fold_to_ula_range(90.0 - eps), 90.0 - eps, 1e-12);
+  EXPECT_NEAR(fold_to_ula_range(-90.0 - eps), 90.0 + eps, 1e-12);
+  EXPECT_NEAR(fold_to_ula_range(-90.0 + eps), 90.0 - eps, 1e-12);
+}
+
+TEST(Angles, WrapBoundariesAreHalfOpen) {
+  // wrap_deg_360 -> [0, 360): the upper endpoint maps to 0.
+  EXPECT_DOUBLE_EQ(wrap_deg_360(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_360(-360.0), 0.0);
+  EXPECT_LT(wrap_deg_360(359.9999999), 360.0);
+  // wrap_deg_180 -> (-180, 180]: exactly -180 folds to +180.
+  EXPECT_DOUBLE_EQ(wrap_deg_180(-180.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_180(540.0), 180.0);
+  EXPECT_DOUBLE_EQ(angle_diff_deg(90.0, 270.0), 180.0);
+  EXPECT_NEAR(angle_diff_deg(89.9, -89.9), 179.8, 1e-9);
+}
+
+TEST(Angles, DegenerateSpacingCarriesNoAoaInformation) {
+  // d/lambda = 0 collapses the array to a point: the inter-antenna
+  // phase ratio is exactly 1 regardless of the arrival angle, so the
+  // steering model degenerates and AoA becomes unobservable.
+  for (double theta : {0.0, 30.0, 90.0, 150.0, 180.0}) {
+    const cxd r = lambda_aoa(theta, 0.0);
+    EXPECT_NEAR(r.real(), 1.0, 1e-15) << "theta " << theta;
+    EXPECT_NEAR(r.imag(), 0.0, 1e-15) << "theta " << theta;
+  }
+  // At exactly half-wavelength spacing both endfire directions hit the
+  // same ratio e^{-+j pi} = -1: the edge of the unambiguous regime.
+  const cxd e0 = lambda_aoa(0.0, 0.5);
+  const cxd e180 = lambda_aoa(180.0, 0.5);
+  EXPECT_NEAR(std::abs(e0 - cxd(-1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(e0 - e180), 0.0, 1e-12);
+}
+
+TEST(Angles, ValidateRejectsAliasingSpacing) {
+  ArrayConfig cfg;
+  cfg.antenna_spacing_m = cfg.wavelength_m / 2.0;  // exactly lambda/2: legal.
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.antenna_spacing_m = cfg.wavelength_m / 2.0 + 1e-6;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.antenna_spacing_m = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Angles, SteeringMirrorAmbiguityMatchesFolding) {
+  // A bearing and its fold into [0, 180] produce identical steering
+  // vectors — the physical ambiguity fold_to_ula_range encodes.
+  const ArrayConfig cfg;
+  for (double bearing : {200.0, 275.0, -45.0, 351.0}) {
+    const CVec a = steering_aoa(bearing, cfg);
+    const CVec b = steering_aoa(fold_to_ula_range(bearing), cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (linalg::index_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12) << "bearing " << bearing;
+    }
+  }
 }
 
 class AngleDiffProperty : public ::testing::TestWithParam<double> {};

@@ -1,0 +1,325 @@
+// Domain generators and shrinkers for the ROArray property suites:
+// random array front-ends, search grids, linear operators, multipath
+// scenes, and full end-to-end scenarios (room + AP + client + burst).
+//
+// Everything here draws exclusively from the proptest RNG, so a case is
+// fully determined by its seed. Shrinkers move toward the simplest
+// member of each domain (fewest antennas/paths/packets, cleanest
+// channel) so minimal counterexamples stay human-readable.
+#pragma once
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/csi.hpp"
+#include "channel/geometry.hpp"
+#include "channel/multipath.hpp"
+#include "dsp/constants.hpp"
+#include "dsp/grid.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "proptest.hpp"
+
+namespace roarray::proptest {
+
+using linalg::CMat;
+using linalg::CVec;
+using linalg::cxd;
+using linalg::index_t;
+
+// ---------------------------------------------------------------------------
+// Linear-algebra generators.
+
+inline cxd gen_cxd(Rng& rng) {
+  std::normal_distribution<double> n(0.0, 1.0);
+  return {n(rng), n(rng)};
+}
+
+inline CVec gen_cvec(index_t n, Rng& rng) {
+  CVec v(n);
+  for (index_t i = 0; i < n; ++i) v[i] = gen_cxd(rng);
+  return v;
+}
+
+inline CMat gen_cmat(index_t rows, index_t cols, Rng& rng) {
+  CMat m(rows, cols);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i) m(i, j) = gen_cxd(rng);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Front-end / grid generators.
+
+/// Random but physically valid front end: 2-4 antennas, 8-30 reported
+/// subcarriers, spacing at most lambda/2 (never aliased).
+inline dsp::ArrayConfig gen_array_config(Rng& rng) {
+  dsp::ArrayConfig cfg;
+  cfg.num_antennas = std::uniform_int_distribution<index_t>(2, 4)(rng);
+  cfg.num_subcarriers = std::uniform_int_distribution<index_t>(8, 30)(rng);
+  cfg.antenna_spacing_m =
+      cfg.wavelength_m *
+      std::uniform_real_distribution<double>(0.25, 0.5)(rng);
+  cfg.subcarrier_spacing_hz =
+      std::uniform_real_distribution<double>(0.3e6, 1.25e6)(rng);
+  return cfg;
+}
+
+/// AoA grid over [0, 180] degrees with 21-61 points.
+inline dsp::Grid gen_aoa_grid(Rng& rng) {
+  const index_t n = std::uniform_int_distribution<index_t>(21, 61)(rng);
+  return dsp::Grid(0.0, 180.0, n);
+}
+
+/// ToA grid covering the front end's unambiguous delay range with 11-31
+/// points (the grid must not exceed 1/f_delta or columns alias).
+inline dsp::Grid gen_toa_grid(const dsp::ArrayConfig& cfg, Rng& rng) {
+  const index_t n = std::uniform_int_distribution<index_t>(11, 31)(rng);
+  return dsp::Grid(0.0, 0.98 * cfg.max_unambiguous_toa_s(), n);
+}
+
+// ---------------------------------------------------------------------------
+// Operator generators (adjoint / Kronecker-vs-dense properties).
+
+/// Factor sizes for a Kronecker operator; deliberately non-square and
+/// small enough that the dense reference stays cheap.
+struct KronSizes {
+  index_t m = 2;    ///< left rows (antennas).
+  index_t nl = 3;   ///< left cols (AoA grid).
+  index_t l = 2;    ///< right rows (subcarriers).
+  index_t nr = 3;   ///< right cols (ToA grid).
+  index_t k = 1;    ///< snapshot columns for the _mat paths.
+};
+
+inline KronSizes gen_kron_sizes(Rng& rng) {
+  KronSizes s;
+  s.m = std::uniform_int_distribution<index_t>(1, 5)(rng);
+  s.nl = std::uniform_int_distribution<index_t>(1, 7)(rng);
+  s.l = std::uniform_int_distribution<index_t>(1, 5)(rng);
+  s.nr = std::uniform_int_distribution<index_t>(1, 7)(rng);
+  s.k = std::uniform_int_distribution<index_t>(1, 4)(rng);
+  return s;
+}
+
+inline Shrinker<KronSizes> shrink_kron_sizes();
+
+/// A complete operator test case: random non-square Kronecker factors
+/// plus matching random probe vectors / snapshot blocks. Data is
+/// regenerated deterministically from `data_seed` whenever the sizes
+/// shrink, so shrinking the structure keeps the case self-consistent.
+struct KronCase {
+  KronSizes sizes;
+  std::uint64_t data_seed = 0;
+
+  [[nodiscard]] CMat left() const {
+    Rng rng(data_seed);
+    return gen_cmat(sizes.m, sizes.nl, rng);
+  }
+  [[nodiscard]] CMat right() const {
+    Rng rng(runtime::mix_seed(data_seed));
+    return gen_cmat(sizes.l, sizes.nr, rng);
+  }
+  [[nodiscard]] CVec x() const {
+    Rng rng(runtime::derive_seed(data_seed, 2));
+    return gen_cvec(sizes.nl * sizes.nr, rng);
+  }
+  [[nodiscard]] CVec y() const {
+    Rng rng(runtime::derive_seed(data_seed, 3));
+    return gen_cvec(sizes.m * sizes.l, rng);
+  }
+  [[nodiscard]] CMat x_mat() const {
+    Rng rng(runtime::derive_seed(data_seed, 4));
+    return gen_cmat(sizes.nl * sizes.nr, sizes.k, rng);
+  }
+  [[nodiscard]] CMat y_mat() const {
+    Rng rng(runtime::derive_seed(data_seed, 5));
+    return gen_cmat(sizes.m * sizes.l, sizes.k, rng);
+  }
+};
+
+inline KronCase gen_kron_case(Rng& rng) {
+  KronCase c;
+  c.sizes = gen_kron_sizes(rng);
+  c.data_seed = rng();
+  return c;
+}
+
+inline Shrinker<KronCase> shrink_kron_case() {
+  return [](const KronCase& c) {
+    std::vector<KronCase> out;
+    for (const KronSizes& s : shrink_kron_sizes()(c.sizes)) {
+      out.push_back(KronCase{s, c.data_seed});
+    }
+    return out;
+  };
+}
+
+inline std::string show_kron_case(const KronCase& c);
+
+inline Shrinker<KronSizes> shrink_kron_sizes() {
+  return [](const KronSizes& s) {
+    std::vector<KronSizes> out;
+    auto push_dim = [&](index_t KronSizes::* dim, index_t floor) {
+      for (int cand : shrink_int(static_cast<int>(s.*dim),
+                                 static_cast<int>(floor))) {
+        KronSizes c = s;
+        c.*dim = cand;
+        out.push_back(c);
+      }
+    };
+    push_dim(&KronSizes::m, 1);
+    push_dim(&KronSizes::nl, 1);
+    push_dim(&KronSizes::l, 1);
+    push_dim(&KronSizes::nr, 1);
+    push_dim(&KronSizes::k, 1);
+    return out;
+  };
+}
+
+inline std::string show_kron_sizes(const KronSizes& s) {
+  std::ostringstream os;
+  os << "left " << s.m << "x" << s.nl << ", right " << s.l << "x" << s.nr
+     << ", snapshots " << s.k;
+  return os.str();
+}
+
+inline std::string show_kron_case(const KronCase& c) {
+  std::ostringstream os;
+  os << show_kron_sizes(c.sizes) << ", data_seed " << c.data_seed;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scene / end-to-end scenario generators.
+
+/// One fuzzed end-to-end localization scene: a room, an AP pose, a
+/// client position, scatterers, and the capture parameters of one burst.
+/// The property suites trace paths / synthesize CSI / run the estimator
+/// from exactly these fields, so the scene is the whole case.
+struct FuzzScenario {
+  double room_w = 10.0;
+  double room_h = 8.0;
+  channel::ApPose ap;
+  channel::Vec2 client;
+  std::vector<channel::Vec2> scatterers;
+  int max_reflections = 1;
+  int num_packets = 2;
+  double snr_db = 25.0;
+  double max_detection_delay_s = 0.0;
+  double path_phase_jitter_rad = 0.0;
+  /// Seed for the burst's noise / delay draws; properties seed a fresh
+  /// Rng from it so the whole case stays a pure function of the scene.
+  std::uint64_t burst_seed = 1;
+
+  [[nodiscard]] channel::Room room() const {
+    return channel::Room{room_w, room_h};
+  }
+
+  [[nodiscard]] channel::MultipathConfig multipath() const {
+    channel::MultipathConfig mp;
+    mp.max_reflections = max_reflections;
+    mp.reflection_loss = 0.55;
+    mp.min_rel_amplitude = 0.1;
+    return mp;
+  }
+
+  [[nodiscard]] channel::BurstConfig burst_config() const {
+    channel::BurstConfig bc;
+    bc.num_packets = num_packets;
+    bc.snr_db = snr_db;
+    bc.max_detection_delay_s = max_detection_delay_s;
+    bc.path_phase_jitter_rad = path_phase_jitter_rad;
+    return bc;
+  }
+};
+
+/// Uniform point inside the room, `margin` away from every wall.
+inline channel::Vec2 gen_point_in_room(double w, double h, double margin,
+                                       Rng& rng) {
+  std::uniform_real_distribution<double> px(margin, w - margin);
+  std::uniform_real_distribution<double> py(margin, h - margin);
+  return {px(rng), py(rng)};
+}
+
+inline FuzzScenario gen_fuzz_scenario(Rng& rng) {
+  FuzzScenario s;
+  s.room_w = std::uniform_real_distribution<double>(6.0, 18.0)(rng);
+  s.room_h = std::uniform_real_distribution<double>(5.0, 12.0)(rng);
+  s.ap.position = gen_point_in_room(s.room_w, s.room_h, 0.5, rng);
+  s.ap.axis_deg = std::uniform_real_distribution<double>(0.0, 180.0)(rng);
+  // Keep the client away from the AP so the direct bearing is well
+  // defined and path lengths stay non-degenerate.
+  do {
+    s.client = gen_point_in_room(s.room_w, s.room_h, 1.0, rng);
+  } while (channel::distance(s.client, s.ap.position) < 1.0);
+  const int nscat = std::uniform_int_distribution<int>(0, 2)(rng);
+  for (int i = 0; i < nscat; ++i) {
+    s.scatterers.push_back(gen_point_in_room(s.room_w, s.room_h, 0.3, rng));
+  }
+  s.max_reflections = std::uniform_int_distribution<int>(0, 2)(rng);
+  s.num_packets = std::uniform_int_distribution<int>(1, 4)(rng);
+  s.snr_db = std::uniform_real_distribution<double>(15.0, 30.0)(rng);
+  s.max_detection_delay_s =
+      std::uniform_real_distribution<double>(0.0, 100e-9)(rng);
+  s.path_phase_jitter_rad =
+      std::uniform_real_distribution<double>(0.0, 0.3)(rng);
+  s.burst_seed = rng();
+  return s;
+}
+
+/// Shrinks toward the simplest scene: direct path only, one clean
+/// high-SNR packet, no scatterers, no detection delay or jitter.
+inline Shrinker<FuzzScenario> shrink_fuzz_scenario() {
+  return [](const FuzzScenario& s) {
+    std::vector<FuzzScenario> out;
+    auto with = [&](auto&& mutate) {
+      FuzzScenario c = s;
+      mutate(c);
+      out.push_back(std::move(c));
+    };
+    if (!s.scatterers.empty()) {
+      with([](FuzzScenario& c) { c.scatterers.clear(); });
+      with([](FuzzScenario& c) { c.scatterers.pop_back(); });
+    }
+    for (int r : shrink_int(s.max_reflections, 0)) {
+      with([r](FuzzScenario& c) { c.max_reflections = r; });
+    }
+    for (int p : shrink_int(s.num_packets, 1)) {
+      with([p](FuzzScenario& c) { c.num_packets = p; });
+    }
+    if (s.max_detection_delay_s != 0.0) {
+      with([](FuzzScenario& c) { c.max_detection_delay_s = 0.0; });
+    }
+    if (s.path_phase_jitter_rad != 0.0) {
+      with([](FuzzScenario& c) { c.path_phase_jitter_rad = 0.0; });
+    }
+    for (double v : shrink_double(s.snr_db, 30.0)) {
+      with([v](FuzzScenario& c) { c.snr_db = v; });
+    }
+    for (double v : shrink_double(s.ap.axis_deg, 0.0)) {
+      with([v](FuzzScenario& c) { c.ap.axis_deg = v; });
+    }
+    return out;
+  };
+}
+
+inline std::string show_fuzz_scenario(const FuzzScenario& s) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "room " << s.room_w << "x" << s.room_h << " m, AP ("
+     << s.ap.position.x << ", " << s.ap.position.y << ") axis "
+     << s.ap.axis_deg << " deg, client (" << s.client.x << ", " << s.client.y
+     << "), " << s.scatterers.size() << " scatterer(s)";
+  for (const auto& sc : s.scatterers) {
+    os << " (" << sc.x << ", " << sc.y << ")";
+  }
+  os << ", refl "
+     << s.max_reflections << ", " << s.num_packets << " pkt, snr "
+     << s.snr_db << " dB, delay<=" << s.max_detection_delay_s * 1e9
+     << " ns, jitter " << s.path_phase_jitter_rad << " rad";
+  return os.str();
+}
+
+}  // namespace roarray::proptest

@@ -1,0 +1,105 @@
+// Reading / writing the golden corpus record files. The format is one
+// deliberately trivial line-based text file per scenario:
+//
+//     # ROArray golden record: <name>
+//     field <key> <value> <tolerance>
+//
+// Values are printed with enough digits to round-trip a double, so a
+// regenerated file only changes when the computed result changed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "golden_scenarios.hpp"
+
+namespace roarray::golden {
+
+inline std::string golden_file_path(const std::string& dir,
+                                    const std::string& name) {
+  return dir + "/" + name + ".golden";
+}
+
+inline void write_record(std::ostream& os, const GoldenRecord& rec) {
+  os << "# ROArray golden record: " << rec.name << "\n";
+  os << "# regenerate with scripts/regen_golden after intentional changes\n";
+  char buf[64];
+  for (const GoldenField& f : rec.fields) {
+    std::snprintf(buf, sizeof(buf), "%.17g", f.value);
+    os << "field " << f.key << " " << buf;
+    std::snprintf(buf, sizeof(buf), "%.17g", f.tol);
+    os << " " << buf << "\n";
+  }
+}
+
+/// Parses a record file. Returns false (with a reason) on missing file
+/// or malformed lines so the caller can report actionably.
+inline bool read_record(const std::string& path, GoldenRecord& rec,
+                        std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path + " (run scripts/regen_golden to create it)";
+    return false;
+  }
+  rec.fields.clear();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    GoldenField f;
+    if (!(ls >> tag >> f.key >> f.value >> f.tol) || tag != "field") {
+      error = path + ":" + std::to_string(lineno) + ": malformed line '" +
+              line + "'";
+      return false;
+    }
+    rec.fields.push_back(std::move(f));
+  }
+  return true;
+}
+
+/// Diffs a recomputed record against the committed one. Returns true on
+/// match; otherwise fills `report` with a per-field table of expected /
+/// actual / delta / tolerance for every failing field.
+inline bool diff_records(const GoldenRecord& expected,
+                         const GoldenRecord& actual, std::string& report) {
+  std::ostringstream os;
+  bool ok = true;
+  if (expected.fields.size() != actual.fields.size()) {
+    os << "  field count mismatch: committed " << expected.fields.size()
+       << ", computed " << actual.fields.size()
+       << " (stale record? run scripts/regen_golden)\n";
+    ok = false;
+  }
+  const std::size_t n =
+      std::min(expected.fields.size(), actual.fields.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const GoldenField& e = expected.fields[i];
+    const GoldenField& a = actual.fields[i];
+    if (e.key != a.key) {
+      os << "  field order mismatch at #" << i << ": committed '" << e.key
+         << "', computed '" << a.key << "'\n";
+      ok = false;
+      continue;
+    }
+    const double delta = std::abs(e.value - a.value);
+    if (delta > e.tol) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "  %-24s expected %-22.12g got %-22.12g |diff| %.3g > tol %.3g\n",
+                    e.key.c_str(), e.value, a.value, delta, e.tol);
+      os << buf;
+      ok = false;
+    }
+  }
+  if (!ok) report = os.str();
+  return ok;
+}
+
+}  // namespace roarray::golden

@@ -1,0 +1,178 @@
+// The golden regression corpus: ~10 fixed, fully deterministic
+// estimation scenarios with their expected outputs committed under
+// tests/proptest/golden/. test_golden.cpp recomputes each scenario and
+// diffs against the committed record; scripts/regen_golden rebuilds the
+// records via golden_tool when an intentional behavior change lands.
+//
+// Every scenario is a pure constant (fixed path geometry, fixed noise
+// seed), so records are reproducible across machines and build modes up
+// to the committed per-field tolerances.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "channel/csi.hpp"
+#include "channel/multipath.hpp"
+#include "core/roarray.hpp"
+#include "dsp/grid.hpp"
+
+namespace roarray::golden {
+
+using channel::Path;
+using linalg::cxd;
+using linalg::index_t;
+
+/// One corpus entry: a burst specification plus the estimator config it
+/// is evaluated with.
+struct GoldenScenario {
+  std::string name;
+  std::vector<Path> paths;
+  channel::BurstConfig burst;
+  std::uint64_t noise_seed = 1;
+  core::RoArrayConfig estimator;
+};
+
+/// One checked quantity: value plus the tolerance committed next to it
+/// (|expected - actual| <= tol passes).
+struct GoldenField {
+  std::string key;
+  double value = 0.0;
+  double tol = 0.0;
+};
+
+struct GoldenRecord {
+  std::string name;
+  std::vector<GoldenField> fields;
+};
+
+inline Path make_path(double aoa_deg, double toa_ns, double amp,
+                      double phase_rad, int reflections) {
+  Path p;
+  p.aoa_deg = aoa_deg;
+  p.toa_s = toa_ns * 1e-9;
+  p.gain = std::polar(amp, phase_rad);
+  p.reflections = reflections;
+  p.length_m = toa_ns * 1e-9 * dsp::kSpeedOfLight;
+  return p;
+}
+
+/// The estimator configuration shared by the corpus: reduced grids (the
+/// tier-1 budget) with the default FISTA solver capped at 150 iterations.
+inline core::RoArrayConfig golden_estimator_config() {
+  core::RoArrayConfig cfg;
+  cfg.aoa_grid = dsp::Grid(0.0, 180.0, 61);
+  cfg.toa_grid = dsp::Grid(0.0, 784e-9, 29);
+  cfg.solver.max_iterations = 150;
+  cfg.sanitize = false;
+  return cfg;
+}
+
+/// The committed corpus. Append new scenarios at the end; renaming or
+/// reordering existing ones orphans their golden files.
+inline std::vector<GoldenScenario> golden_scenarios() {
+  std::vector<GoldenScenario> out;
+  auto add = [&out](std::string name, std::vector<Path> paths,
+                    index_t packets, double snr_db, std::uint64_t seed) {
+    GoldenScenario s;
+    s.name = std::move(name);
+    s.paths = std::move(paths);
+    s.burst.num_packets = packets;
+    s.burst.snr_db = snr_db;
+    s.burst.max_detection_delay_s = 0.0;
+    s.noise_seed = seed;
+    s.estimator = golden_estimator_config();
+    out.push_back(std::move(s));
+  };
+
+  add("single_path_clean", {make_path(72.0, 95.0, 1.0, 0.3, 0)}, 1, 35.0, 11);
+  add("two_path_separated",
+      {make_path(50.0, 60.0, 1.0, 0.0, 0), make_path(105.0, 210.0, 0.5, 1.1, 1)},
+      2, 30.0, 12);
+  add("two_path_close_aoa",
+      {make_path(80.0, 70.0, 1.0, 0.4, 0), make_path(96.0, 240.0, 0.6, 2.0, 1)},
+      2, 28.0, 13);
+  add("three_path_rich",
+      {make_path(40.0, 50.0, 1.0, 0.0, 0), make_path(95.0, 180.0, 0.5, 2.4, 1),
+       make_path(140.0, 320.0, 0.35, 4.0, 2)},
+      3, 30.0, 14);
+  add("fusion_five_packets",
+      {make_path(66.0, 85.0, 1.0, 0.9, 0), make_path(118.0, 260.0, 0.45, 3.1, 1)},
+      5, 20.0, 15);
+  add("low_snr_single", {make_path(57.0, 110.0, 1.0, 1.7, 0)}, 3, 8.0, 16);
+  add("blocked_direct",
+      {make_path(62.0, 65.0, 0.45, 0.2, 0), make_path(125.0, 190.0, 1.0, 2.8, 1)},
+      2, 28.0, 17);
+  add("edge_aoa_low", {make_path(12.0, 90.0, 1.0, 0.0, 0)}, 1, 30.0, 18);
+
+  // Detection delays + sanitization on: exercises the detrend path.
+  {
+    GoldenScenario s;
+    s.name = "detection_delay_sanitized";
+    s.paths = {make_path(84.0, 75.0, 1.0, 0.5, 0),
+               make_path(33.0, 230.0, 0.5, 1.9, 1)};
+    s.burst.num_packets = 3;
+    s.burst.snr_db = 25.0;
+    s.burst.max_detection_delay_s = 80e-9;
+    s.noise_seed = 19;
+    s.estimator = golden_estimator_config();
+    s.estimator.sanitize = true;
+    out.push_back(std::move(s));
+  }
+
+  // ISTA instead of FISTA: pins the baseline solver flavor too.
+  {
+    GoldenScenario s;
+    s.name = "ista_solver";
+    s.paths = {make_path(70.0, 100.0, 1.0, 0.0, 0),
+               make_path(115.0, 280.0, 0.5, 2.2, 1)};
+    s.burst.num_packets = 2;
+    s.burst.snr_db = 30.0;
+    s.noise_seed = 20;
+    s.estimator = golden_estimator_config();
+    s.estimator.solver.algorithm = sparse::Algorithm::kIsta;
+    s.estimator.solver.max_iterations = 300;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Runs the estimator on a scenario and summarizes the result as the
+/// checked fields with their tolerances. Grid-pinned quantities (AoA /
+/// ToA picks) carry tight tolerances; accumulated floating-point
+/// summaries (spectrum mass) carry loose ones so records survive
+/// compiler / sanitizer build differences.
+inline GoldenRecord compute_golden(const GoldenScenario& s) {
+  std::mt19937_64 rng(s.noise_seed);
+  const dsp::ArrayConfig array;
+  const auto burst = channel::generate_burst(s.paths, array, s.burst, rng);
+  const auto r = core::roarray_estimate(burst.csi, s.estimator, array,
+                                        runtime::EstimateContext{});
+  GoldenRecord rec;
+  rec.name = s.name;
+  auto field = [&rec](const char* key, double value, double tol) {
+    rec.fields.push_back({key, value, tol});
+  };
+  field("valid", r.valid ? 1.0 : 0.0, 0.0);
+  field("num_paths", static_cast<double>(r.paths.size()), 0.0);
+  field("direct_aoa_deg", r.direct.aoa_deg, 1e-6);
+  field("direct_toa_ns", r.direct.toa_s * 1e9, 1e-6);
+  field("direct_power", r.direct.power, 1e-5);
+  field("solver_iterations", r.solver_iterations, 3.0);
+  double spectrum_sum = 0.0;
+  const auto& sp = r.spectrum.values;
+  for (index_t j = 0; j < sp.cols(); ++j) {
+    for (index_t i = 0; i < sp.rows(); ++i) spectrum_sum += sp(i, j);
+  }
+  field("spectrum_sum", spectrum_sum, 1e-4 * std::max(1.0, spectrum_sum));
+  const auto marginal = r.spectrum.aoa_marginal();
+  const auto peaks = marginal.find_peaks(1);
+  field("aoa_marginal_peak_deg", peaks.empty() ? -1.0 : peaks.front().aoa_deg,
+        1e-6);
+  return rec;
+}
+
+}  // namespace roarray::golden

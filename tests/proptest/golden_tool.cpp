@@ -1,0 +1,70 @@
+// Regenerates the golden regression corpus (invoked by
+// scripts/regen_golden). Usage:
+//
+//     golden_tool --regen <dir>   write one .golden file per scenario
+//     golden_tool --check <dir>   recompute and diff (exit 1 on drift)
+//     golden_tool --list          print scenario names
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "golden_io.hpp"
+#include "golden_scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace roarray::golden;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s --regen <dir> | --check <dir> | --list\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "--list") {
+    for (const auto& s : golden_scenarios()) std::printf("%s\n", s.name.c_str());
+    return 0;
+  }
+  if (argc < 3 || (mode != "--regen" && mode != "--check")) {
+    std::fprintf(stderr, "usage: %s --regen <dir> | --check <dir> | --list\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[2];
+  int failures = 0;
+  for (const auto& s : golden_scenarios()) {
+    const GoldenRecord rec = compute_golden(s);
+    const std::string path = golden_file_path(dir, s.name);
+    if (mode == "--regen") {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      write_record(out, rec);
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "write failed for %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      GoldenRecord committed;
+      std::string error;
+      if (!read_record(path, committed, error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        ++failures;
+        continue;
+      }
+      std::string report;
+      if (!diff_records(committed, rec, report)) {
+        std::fprintf(stderr, "golden drift in %s:\n%s", s.name.c_str(),
+                     report.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (mode == "--check") {
+    std::printf("%d scenario(s) drifted\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}

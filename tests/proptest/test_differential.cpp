@@ -1,0 +1,526 @@
+// Differential oracles and metamorphic relations over fuzzed inputs.
+//
+// Differential: two independent implementations must agree —
+//   * FISTA and ADMM minimize the same l1 objective (compared by
+//     objective value at a shared explicit kappa; the minimizer itself
+//     need not be unique);
+//   * the Kronecker operator matches its materialized dense matrix on
+//     random non-square sizes;
+//   * sparse recovery, MUSIC, and SpotFi agree on high-SNR scenes with
+//     well-separated paths.
+//
+// Metamorphic: a known input transformation must produce a known output
+// transformation —
+//   * a global CSI phase shift leaves the AoA spectrum invariant;
+//   * rotating the array axis rotates every path's AoA (folded to the
+//     ULA range) and nothing else;
+//   * a uniform detection-delay shift translates the ToA estimate;
+//   * permuting the packets of a burst leaves the l1-SVD fusion fixed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/csi.hpp"
+#include "channel/multipath.hpp"
+#include "core/roarray.hpp"
+#include "dsp/angles.hpp"
+#include "generators.hpp"
+#include "music/covariance.hpp"
+#include "music/music.hpp"
+#include "music/spotfi.hpp"
+#include "proptest.hpp"
+#include "sparse/admm.hpp"
+#include "sparse/fista.hpp"
+#include "sparse/operator.hpp"
+
+namespace pt = roarray::proptest;
+using roarray::channel::Path;
+using roarray::linalg::CMat;
+using roarray::linalg::CVec;
+using roarray::linalg::cxd;
+using roarray::linalg::index_t;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A controlled two-path scene: high SNR, well-separated AoA and ToA, so
+// every estimator in the repo should find (at least) the direct path.
+
+struct TwoPathScene {
+  double aoa1_deg = 60.0;   ///< direct path.
+  double aoa2_deg = 110.0;  ///< reflection, >= 30 deg away from aoa1.
+  double toa1_ns = 60.0;
+  double toa_gap_ns = 150.0;
+  double rel_amp = 0.5;     ///< reflection amplitude relative to direct.
+  double phase2 = 1.0;      ///< reflection phase [rad].
+  int num_packets = 3;
+  std::uint64_t noise_seed = 1;
+
+  [[nodiscard]] std::vector<Path> paths() const {
+    Path direct;
+    direct.aoa_deg = aoa1_deg;
+    direct.toa_s = toa1_ns * 1e-9;
+    direct.gain = cxd{1.0, 0.0};
+    direct.reflections = 0;
+    Path bounce;
+    bounce.aoa_deg = aoa2_deg;
+    bounce.toa_s = (toa1_ns + toa_gap_ns) * 1e-9;
+    bounce.gain = std::polar(rel_amp, phase2);
+    bounce.reflections = 1;
+    return {direct, bounce};
+  }
+};
+
+pt::Gen<TwoPathScene> gen_two_path_scene() {
+  return [](pt::Rng& rng) {
+    TwoPathScene s;
+    s.aoa1_deg = std::uniform_real_distribution<double>(25.0, 115.0)(rng);
+    s.aoa2_deg =
+        s.aoa1_deg + std::uniform_real_distribution<double>(30.0, 55.0)(rng);
+    s.toa1_ns = std::uniform_real_distribution<double>(30.0, 120.0)(rng);
+    s.toa_gap_ns = std::uniform_real_distribution<double>(120.0, 250.0)(rng);
+    s.rel_amp = std::uniform_real_distribution<double>(0.3, 0.6)(rng);
+    s.phase2 = std::uniform_real_distribution<double>(0.0, 6.28)(rng);
+    s.num_packets = std::uniform_int_distribution<int>(2, 4)(rng);
+    s.noise_seed = rng();
+    return s;
+  };
+}
+
+std::string show_two_path_scene(const TwoPathScene& s) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "aoa " << s.aoa1_deg << "/" << s.aoa2_deg << " deg, toa " << s.toa1_ns
+     << "/+" << s.toa_gap_ns << " ns, rel_amp " << s.rel_amp << ", phase2 "
+     << s.phase2 << ", pkts " << s.num_packets << ", noise_seed "
+     << s.noise_seed;
+  return os.str();
+}
+
+/// Reduced grids shared by the estimator-level differential checks.
+const roarray::dsp::Grid kAoaGrid(0.0, 180.0, 61);
+const roarray::dsp::Grid kToaGrid(0.0, 784e-9, 29);
+
+roarray::channel::PacketBurst make_burst(const TwoPathScene& s,
+                                         const roarray::dsp::ArrayConfig& array,
+                                         double snr_db = 30.0,
+                                         double max_delay_s = 0.0) {
+  roarray::channel::BurstConfig bc;
+  bc.num_packets = s.num_packets;
+  bc.snr_db = snr_db;
+  bc.max_detection_delay_s = max_delay_s;
+  pt::Rng rng(s.noise_seed);
+  return roarray::channel::generate_burst(s.paths(), array, bc, rng);
+}
+
+roarray::core::RoArrayConfig scene_estimator_config() {
+  roarray::core::RoArrayConfig cfg;
+  cfg.aoa_grid = kAoaGrid;
+  cfg.toa_grid = kToaGrid;
+  cfg.solver.max_iterations = 150;
+  cfg.sanitize = false;  // scenes carry no detection delay unless stated.
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracles.
+
+TEST(ProptestDifferential, FistaAndAdmmReachTheSameObjective) {
+  pt::CheckConfig cfg;
+  cfg.cases = 12;
+  pt::check<pt::KronCase>(
+      "FISTA and ADMM objective values agree at a shared kappa",
+      pt::gen_kron_case,
+      [](const pt::KronCase& c) -> std::optional<std::string> {
+        const roarray::sparse::KroneckerOperator op(c.left(), c.right());
+        const CVec y = c.y();
+        const double kappa = 0.3 * roarray::sparse::kappa_max(op, y);
+        if (kappa <= 0.0) return std::nullopt;  // degenerate: x = 0 for all.
+
+        roarray::sparse::SolveConfig fcfg;
+        fcfg.kappa = kappa;
+        fcfg.max_iterations = 800;
+        fcfg.tolerance = 1e-10;
+        const auto fr = roarray::sparse::solve_l1(op, y, fcfg);
+
+        roarray::sparse::AdmmConfig acfg;
+        acfg.kappa = kappa;
+        acfg.max_iterations = 800;
+        acfg.tolerance = 1e-10;
+        // rho on the problem's scale: for a weak random operator the
+        // default rho = 1 can sit orders of magnitude above ||S||^2,
+        // which stalls the x-update (steps shrink like ||S||^2 / rho).
+        // rho ~ kappa is the standard lasso scaling.
+        acfg.rho = kappa;
+        const auto ar = roarray::sparse::solve_l1_admm(op, y, acfg);
+
+        const double fo = roarray::sparse::l1_objective(op, y, fr.x, kappa);
+        const double ao = roarray::sparse::l1_objective(op, y, ar.x, kappa);
+        // The oracle is directional: restarted FISTA at this iteration
+        // budget is the tight reference for the shared convex optimum,
+        // while ADMM's splitting can lag it by a fraction of a percent
+        // on ill-conditioned draws. FISTA must never be meaningfully
+        // worse (it carries its own ~1e-4 convergence slack on tiny
+        // problems), and ADMM must approach the same optimum within 1%.
+        const double scale = std::max(1.0, std::max(fo, ao));
+        if (fo > ao + 1e-4 * scale) {
+          std::ostringstream os;
+          os << "FISTA objective " << fo << " worse than ADMM " << ao
+             << " (kappa " << kappa << ")";
+          return os.str();
+        }
+        if (ao - fo > 1e-2 * scale) {
+          std::ostringstream os;
+          os << "ADMM objective " << ao << " far above FISTA " << fo
+             << " (kappa " << kappa << ")";
+          return os.str();
+        }
+        return std::nullopt;
+      },
+      pt::shrink_kron_case(), pt::show_kron_case, cfg);
+}
+
+TEST(ProptestDifferential, KroneckerMatchesDenseOnRandomSizes) {
+  pt::CheckConfig cfg;
+  cfg.cases = 40;
+  pt::check<pt::KronCase>(
+      "Kronecker operator == materialized dense operator",
+      pt::gen_kron_case,
+      [](const pt::KronCase& c) -> std::optional<std::string> {
+        const roarray::sparse::KroneckerOperator kron(c.left(), c.right());
+        const roarray::sparse::DenseOperator dense(kron.to_dense());
+        if (kron.rows() != dense.rows() || kron.cols() != dense.cols()) {
+          return "shape mismatch between kron and to_dense";
+        }
+        const CVec x = c.x();
+        const CVec y = c.y();
+        const double xs = std::max(1.0, roarray::linalg::norm2(x));
+        const double ys = std::max(1.0, roarray::linalg::norm2(y));
+
+        const CVec kf = kron.apply(x);
+        const CVec df = dense.apply(x);
+        for (index_t i = 0; i < kf.size(); ++i) {
+          if (std::abs(kf[i] - df[i]) > 1e-9 * xs) {
+            return "forward apply differs from dense";
+          }
+        }
+        const CVec ka = kron.apply_adjoint(y);
+        const CVec da = dense.apply_adjoint(y);
+        for (index_t i = 0; i < ka.size(); ++i) {
+          if (std::abs(ka[i] - da[i]) > 1e-9 * ys) {
+            return "adjoint apply differs from dense";
+          }
+        }
+        const CMat xm = c.x_mat();
+        const CMat km = kron.apply_mat(xm);
+        const CMat dm = dense.apply_mat(xm);
+        for (index_t j = 0; j < km.cols(); ++j) {
+          for (index_t i = 0; i < km.rows(); ++i) {
+            if (std::abs(km(i, j) - dm(i, j)) >
+                1e-9 * std::max(1.0, roarray::linalg::norm_fro(xm))) {
+              return "batched apply_mat differs from dense";
+            }
+          }
+        }
+        const CMat kg = kron.row_gram();
+        const CMat dg = dense.row_gram();
+        const double gs = std::max(1.0, roarray::linalg::norm_max(dg));
+        for (index_t j = 0; j < kg.cols(); ++j) {
+          for (index_t i = 0; i < kg.rows(); ++i) {
+            if (std::abs(kg(i, j) - dg(i, j)) > 1e-9 * gs) {
+              return "row_gram differs from dense";
+            }
+          }
+        }
+        return std::nullopt;
+      },
+      pt::shrink_kron_case(), pt::show_kron_case, cfg);
+}
+
+TEST(ProptestDifferential, SparseRecoveryAgreesWithMusicAndSpotfi) {
+  pt::CheckConfig cfg;
+  cfg.cases = 4;
+  pt::check<TwoPathScene>(
+      "ROArray, MUSIC, and SpotFi agree on high-SNR well-separated scenes",
+      gen_two_path_scene(),
+      [](const TwoPathScene& s) -> std::optional<std::string> {
+        const roarray::dsp::ArrayConfig array;
+        const auto burst = make_burst(s, array);
+
+        // Sparse recovery.
+        const auto rr = roarray::core::roarray_estimate(
+            burst.csi, scene_estimator_config(), array,
+            roarray::runtime::EstimateContext{});
+        if (!rr.valid) return "roarray_estimate found no path";
+        const double ro_err =
+            roarray::dsp::angle_diff_deg(rr.direct.aoa_deg, s.aoa1_deg);
+        if (ro_err > 6.0) {
+          std::ostringstream os;
+          os << "roarray direct AoA off by " << ro_err << " deg";
+          return os.str();
+        }
+
+        // Spatial MUSIC: one of the top-2 peaks must sit on the direct
+        // path. MUSIC's resolution guarantee only holds for
+        // decorrelated sources — on a static channel the two paths are
+        // fully coherent and the covariance is rank-1 (the failure
+        // mode sparse recovery exists to fix) — so give MUSIC what its
+        // model assumes: a burst with per-packet path-phase
+        // decorrelation, covariances averaged across packets and
+        // forward-backward averaged.
+        roarray::channel::BurstConfig mbc;
+        mbc.num_packets = 12;
+        mbc.snr_db = 30.0;
+        mbc.max_detection_delay_s = 0.0;
+        mbc.path_phase_jitter_rad = 1.2;
+        pt::Rng mrng(roarray::runtime::mix_seed(s.noise_seed));
+        const auto mburst =
+            roarray::channel::generate_burst(s.paths(), array, mbc, mrng);
+        CMat cov = roarray::music::sample_covariance(mburst.csi.front());
+        for (std::size_t p = 1; p < mburst.csi.size(); ++p) {
+          const CMat rp = roarray::music::sample_covariance(mburst.csi[p]);
+          for (index_t j = 0; j < cov.cols(); ++j) {
+            for (index_t i = 0; i < cov.rows(); ++i) cov(i, j) += rp(i, j);
+          }
+        }
+        for (index_t j = 0; j < cov.cols(); ++j) {
+          for (index_t i = 0; i < cov.rows(); ++i) {
+            cov(i, j) /= static_cast<double>(mburst.csi.size());
+          }
+        }
+        cov = roarray::music::forward_backward_average(cov);
+        // MUSIC nulls are razor sharp, so normalized peak height is
+        // dominated by how far each true angle sits from the nearest
+        // grid point: the peak of a path 0.25 deg off-grid can sit
+        // four orders of magnitude below one 0.05 deg off-grid, which
+        // makes any fixed peak-height floor brittle. The robust oracle
+        // is CONTRAST: the pseudo-spectrum within 1.5 deg of the true
+        // direct angle must stand at least 20 dB above the median
+        // background level.
+        const auto mus = roarray::music::music_spectrum_aoa(
+            cov, 2, roarray::dsp::Grid(0.0, 180.0, 361), array);
+        double near_direct = 0.0;
+        std::vector<double> background;
+        background.reserve(static_cast<std::size_t>(mus.grid.size()));
+        for (index_t i = 0; i < mus.grid.size(); ++i) {
+          if (roarray::dsp::angle_diff_deg(mus.grid[i], s.aoa1_deg) <= 1.5) {
+            near_direct = std::max(near_direct, mus.values[i]);
+          }
+          background.push_back(mus.values[i]);
+        }
+        std::nth_element(background.begin(),
+                         background.begin() + background.size() / 2,
+                         background.end());
+        const double median_bg = background[background.size() / 2];
+        if (near_direct < 100.0 * median_bg) {
+          std::ostringstream os;
+          os << "MUSIC shows no direct-path response: spectrum near "
+             << s.aoa1_deg << " deg is " << near_direct
+             << " vs median background " << median_bg;
+          return os.str();
+        }
+
+        // SpotFi end to end (on its default fine grids: SpotFi's
+        // cluster features degrade on the reduced tier-1 grids). SpotFi
+        // is the fragile baseline the paper criticizes: on coherent
+        // two-path draws its smoothed MUSIC can collapse both paths
+        // into one cluster, and its direct-pick heuristic can land on
+        // the reflection or on a smeared mixture peak between the
+        // paths. Those are expected behaviors, not bugs, so the
+        // differential constraint is one-sided: SpotFi must produce a
+        // valid estimate, and whenever its pick DOES land on the
+        // direct path it must agree with ROArray's.
+        roarray::music::SpotfiConfig scfg;
+        scfg.sanitize = false;
+        const auto sr = roarray::music::spotfi_estimate(burst.csi, scfg, array);
+        if (!sr.valid) return "spotfi_estimate found no path";
+        const double sf_pick_err =
+            roarray::dsp::angle_diff_deg(sr.direct_aoa_deg, s.aoa1_deg);
+        if (sf_pick_err <= 8.0 &&
+            roarray::dsp::angle_diff_deg(rr.direct.aoa_deg, sr.direct_aoa_deg) >
+                12.0) {
+          return "roarray and SpotFi disagree on the direct path";
+        }
+        return std::nullopt;
+      },
+      /*shrink=*/{}, show_two_path_scene, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic relations.
+
+TEST(ProptestMetamorphic, GlobalPhaseShiftLeavesAoaSpectrumInvariant) {
+  pt::CheckConfig cfg;
+  cfg.cases = 5;
+  pt::check<TwoPathScene>(
+      "csi -> e^{j phi} csi leaves the AoA spectrum unchanged",
+      gen_two_path_scene(),
+      [](const TwoPathScene& s) -> std::optional<std::string> {
+        const roarray::dsp::ArrayConfig array;
+        const auto burst = make_burst(s, array);
+        const CMat& csi = burst.csi.front();
+        // Derive the phase from the scene so it is seed-reproducible.
+        const double phi = s.phase2 + 0.7;
+        CMat shifted = csi;
+        const cxd rot = std::polar(1.0, phi);
+        for (index_t j = 0; j < shifted.cols(); ++j) {
+          for (index_t i = 0; i < shifted.rows(); ++i) shifted(i, j) *= rot;
+        }
+        const roarray::dsp::Grid grid(0.0, 180.0, 46);
+        roarray::sparse::SolveConfig solver;
+        solver.max_iterations = 100;
+        const auto a = roarray::core::roarray_aoa_spectrum(csi, grid, array, solver);
+        const auto b =
+            roarray::core::roarray_aoa_spectrum(shifted, grid, array, solver);
+        for (index_t i = 0; i < grid.size(); ++i) {
+          if (std::abs(a.values[i] - b.values[i]) > 1e-6) {
+            std::ostringstream os;
+            os << "spectrum changed at " << grid[i] << " deg: " << a.values[i]
+               << " -> " << b.values[i] << " (phi " << phi << ")";
+            return os.str();
+          }
+        }
+        return std::nullopt;
+      },
+      /*shrink=*/{}, show_two_path_scene, cfg);
+}
+
+TEST(ProptestMetamorphic, ArrayRotationRotatesAoaOnly) {
+  pt::CheckConfig cfg;
+  cfg.cases = 25;
+  pt::check<pt::FuzzScenario>(
+      "rotating the array axis rotates every path AoA, nothing else",
+      pt::gen_fuzz_scenario,
+      [](const pt::FuzzScenario& s) -> std::optional<std::string> {
+        const roarray::dsp::ArrayConfig array;
+        // Reuse the scene's jitter field as a deterministic rotation.
+        const double delta = 17.0 + 40.0 * s.path_phase_jitter_rad;
+        roarray::channel::ApPose rotated = s.ap;
+        rotated.axis_deg = s.ap.axis_deg + delta;
+        const auto base = roarray::channel::trace_paths(
+            s.room(), s.ap, s.client, s.multipath(), array, s.scatterers);
+        const auto rot = roarray::channel::trace_paths(
+            s.room(), rotated, s.client, s.multipath(), array, s.scatterers);
+        if (base.size() != rot.size()) {
+          return "rotation changed the number of traced paths";
+        }
+        for (std::size_t i = 0; i < base.size(); ++i) {
+          if (std::abs(base[i].toa_s - rot[i].toa_s) > 1e-15) {
+            return "rotation changed a path ToA";
+          }
+          if (std::abs(std::abs(base[i].gain) - std::abs(rot[i].gain)) > 1e-12) {
+            return "rotation changed a path amplitude";
+          }
+          // aoa0 = fold(bearing - axis) loses the side of the array, so
+          // the rotated AoA is fold(aoa0 - delta) or fold(aoa0 + delta).
+          const double cand1 =
+              roarray::dsp::fold_to_ula_range(base[i].aoa_deg - delta);
+          const double cand2 =
+              roarray::dsp::fold_to_ula_range(base[i].aoa_deg + delta);
+          const double got = rot[i].aoa_deg;
+          if (std::abs(got - cand1) > 1e-9 && std::abs(got - cand2) > 1e-9) {
+            std::ostringstream os;
+            os << "path " << i << " AoA " << base[i].aoa_deg << " rotated to "
+               << got << ", expected " << cand1 << " or " << cand2;
+            return os.str();
+          }
+        }
+        return std::nullopt;
+      },
+      pt::shrink_fuzz_scenario(), pt::show_fuzz_scenario, cfg);
+}
+
+TEST(ProptestMetamorphic, DetectionDelayShiftTranslatesToa) {
+  pt::CheckConfig cfg;
+  cfg.cases = 5;
+  pt::check<TwoPathScene>(
+      "adding a uniform detection delay translates the ToA estimate",
+      gen_two_path_scene(),
+      [](const TwoPathScene& s) -> std::optional<std::string> {
+        const roarray::dsp::ArrayConfig array;
+        auto est_cfg = scene_estimator_config();
+        const double step = est_cfg.toa_grid.step();
+        const double delay = 3.0 * step;  // exactly three grid cells.
+
+        roarray::channel::CsiImpairments clean;
+        roarray::channel::CsiImpairments delayed;
+        delayed.detection_delay_s = delay;
+        // Snap the direct ToA onto the grid: an off-grid direct path
+        // sitting near a cell boundary can legitimately quantize to a
+        // different cell in the shifted solve, which would test peak
+        // quantization rather than the translation relation.
+        auto paths = s.paths();
+        paths[0].toa_s = std::max(1.0, std::round(paths[0].toa_s / step)) * step;
+        std::vector<CMat> base{
+            roarray::channel::synthesize_csi(paths, array, clean)};
+        std::vector<CMat> shifted{
+            roarray::channel::synthesize_csi(paths, array, delayed)};
+
+        const auto rb = roarray::core::roarray_estimate(
+            base, est_cfg, array, roarray::runtime::EstimateContext{});
+        const auto rs = roarray::core::roarray_estimate(
+            shifted, est_cfg, array, roarray::runtime::EstimateContext{});
+        if (!rb.valid || !rs.valid) return "estimate invalid";
+        const double got = rs.direct.toa_s - rb.direct.toa_s;
+        if (std::abs(got - delay) > step + 1e-15) {
+          std::ostringstream os;
+          os << "ToA moved by " << got * 1e9 << " ns for a " << delay * 1e9
+             << " ns delay (grid step " << step * 1e9 << " ns)";
+          return os.str();
+        }
+        return std::nullopt;
+      },
+      /*shrink=*/{}, show_two_path_scene, cfg);
+}
+
+TEST(ProptestMetamorphic, PacketPermutationLeavesFusionFixed) {
+  pt::CheckConfig cfg;
+  cfg.cases = 4;
+  pt::check<TwoPathScene>(
+      "permuting the packets of a burst leaves the fused estimate fixed",
+      gen_two_path_scene(),
+      [](const TwoPathScene& s) -> std::optional<std::string> {
+        const roarray::dsp::ArrayConfig array;
+        auto burst = make_burst(s, array);
+        if (burst.csi.size() < 2) return std::nullopt;
+        std::vector<CMat> permuted(burst.csi.rbegin(), burst.csi.rend());
+
+        const auto est_cfg = scene_estimator_config();
+        const auto a = roarray::core::roarray_estimate(
+            burst.csi, est_cfg, array, roarray::runtime::EstimateContext{});
+        const auto b = roarray::core::roarray_estimate(
+            permuted, est_cfg, array, roarray::runtime::EstimateContext{});
+        if (a.valid != b.valid) return "permutation flipped validity";
+        if (!a.valid) return std::nullopt;
+        const auto& av = a.spectrum.values;
+        const auto& bv = b.spectrum.values;
+        for (index_t j = 0; j < av.cols(); ++j) {
+          for (index_t i = 0; i < av.rows(); ++i) {
+            if (std::abs(av(i, j) - bv(i, j)) > 1e-5) {
+              std::ostringstream os;
+              os << "fused spectrum changed at (" << i << ", " << j
+                 << "): " << av(i, j) << " -> " << bv(i, j);
+              return os.str();
+            }
+          }
+        }
+        if (std::abs(a.direct.toa_s - b.direct.toa_s) >
+            est_cfg.toa_grid.step() + 1e-15) {
+          return "permutation moved the direct ToA pick";
+        }
+        if (roarray::dsp::angle_diff_deg(a.direct.aoa_deg, b.direct.aoa_deg) >
+            est_cfg.aoa_grid.step() + 1e-12) {
+          return "permutation moved the direct AoA pick";
+        }
+        return std::nullopt;
+      },
+      /*shrink=*/{}, show_two_path_scene, cfg);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Golden regression suite: recomputes every corpus scenario and diffs
+// against the committed record under tests/proptest/golden/. A failure
+// prints a per-field expected/actual/tolerance table; if the change is
+// intentional, regenerate the records with scripts/regen_golden and
+// commit the diff.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golden_io.hpp"
+#include "golden_scenarios.hpp"
+
+#ifndef ROARRAY_GOLDEN_DIR
+#error "ROARRAY_GOLDEN_DIR must point at the committed golden corpus"
+#endif
+
+namespace {
+
+using namespace roarray::golden;
+
+TEST(GoldenCorpus, ScenarioNamesAreUnique) {
+  const auto scenarios = golden_scenarios();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    for (std::size_t j = i + 1; j < scenarios.size(); ++j) {
+      EXPECT_NE(scenarios[i].name, scenarios[j].name);
+    }
+  }
+  EXPECT_GE(scenarios.size(), 10u);
+}
+
+TEST(GoldenCorpus, RecordsRoundTripThroughTheFileFormat) {
+  const auto scenarios = golden_scenarios();
+  const GoldenRecord rec = compute_golden(scenarios.front());
+  std::ostringstream os;
+  write_record(os, rec);
+  // Parse the serialized form back and require an exact match: %.17g
+  // printing must round-trip every double.
+  std::istringstream is(os.str());
+  GoldenRecord parsed;
+  parsed.name = rec.name;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    GoldenField f;
+    ASSERT_TRUE(static_cast<bool>(ls >> tag >> f.key >> f.value >> f.tol))
+        << line;
+    parsed.fields.push_back(f);
+  }
+  ASSERT_EQ(parsed.fields.size(), rec.fields.size());
+  for (std::size_t i = 0; i < rec.fields.size(); ++i) {
+    EXPECT_EQ(parsed.fields[i].key, rec.fields[i].key);
+    EXPECT_EQ(parsed.fields[i].value, rec.fields[i].value);
+    EXPECT_EQ(parsed.fields[i].tol, rec.fields[i].tol);
+  }
+}
+
+TEST(GoldenCorpus, AllScenariosMatchCommittedRecords) {
+  const std::string dir = ROARRAY_GOLDEN_DIR;
+  for (const GoldenScenario& s : golden_scenarios()) {
+    SCOPED_TRACE(s.name);
+    GoldenRecord committed;
+    std::string error;
+    ASSERT_TRUE(read_record(golden_file_path(dir, s.name), committed, error))
+        << error;
+    const GoldenRecord actual = compute_golden(s);
+    std::string report;
+    EXPECT_TRUE(diff_records(committed, actual, report))
+        << "golden drift in scenario '" << s.name << "':\n"
+        << report
+        << "if this change is intentional, run scripts/regen_golden and "
+           "commit the updated records";
+  }
+}
+
+}  // namespace

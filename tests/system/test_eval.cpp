@@ -114,6 +114,97 @@ TEST(Report, SeriesPrintsAllColumns) {
   EXPECT_NE(s.find("90.0"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// JsonWriter edge cases: escaping, non-finite doubles, structure checks.
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlCharacters) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("a\"b\\c");
+  w.value(std::string_view("line\nbreak\ttab \x01 bell\x07"));
+  w.end_object();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(s.find("line\\nbreak\\ttab \\u0001 bell\\u0007"), std::string::npos);
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(INFINITY);
+  w.value(-INFINITY);
+  w.value(1.5);
+  w.end_array();
+  const std::string s = os.str();
+  // Three nulls, and never the invalid bare tokens printf would emit.
+  std::size_t nulls = 0;
+  for (std::size_t pos = s.find("null"); pos != std::string::npos;
+       pos = s.find("null", pos + 1)) {
+    ++nulls;
+  }
+  EXPECT_EQ(nulls, 3u);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+TEST(JsonWriter, DoublesRoundTripThroughShortestForm) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(0.1);
+  w.value(1.0 / 3.0);
+  w.end_array();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("0.1"), std::string::npos);
+  // The parsed-back value must equal the original exactly.
+  const auto third_pos = s.find("0.3");
+  ASSERT_NE(third_pos, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(s.substr(third_pos)), 1.0 / 3.0);
+}
+
+TEST(JsonWriter, StructuralMisuseThrows) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without a key.
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close.
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.value(1.0);
+    EXPECT_THROW(w.value(2.0), std::logic_error);  // two top-level values.
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_FALSE(w.complete());  // unbalanced: not complete.
+  }
+}
+
+TEST(JsonWriter, CdfSummaryHandlesEmptyCdf) {
+  std::ostringstream os;
+  write_cdf_summary_json(os, {{"empty", Cdf{}}, {"one", Cdf({2.0})}});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"empty\""), std::string::npos);
+  EXPECT_NE(s.find("\"n\": 0"), std::string::npos);
+  EXPECT_NE(s.find("null"), std::string::npos);  // null stats for empty curve.
+  EXPECT_NE(s.find("\"one\""), std::string::npos);
+  EXPECT_NE(s.find("\"n\": 1"), std::string::npos);
+}
+
 TEST(Report, SketchProducesRows) {
   std::ostringstream os;
   print_spectrum_sketch(os, {0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 0.3, 0.0}, 4);
