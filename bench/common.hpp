@@ -45,6 +45,11 @@ struct BenchOptions {
 /// Thread pool + steering-operator cache shared across a bench run.
 /// Construct one per process and pass it to run_band / the per-location
 /// loops so every ROArray solve reuses the same cached operator.
+///
+/// Concurrency contract (DESIGN.md §8): both members synchronize
+/// internally (thread-safety-annotated mutexes); everything else a
+/// bench shares across locations is slot-per-index writes merged on the
+/// submitting thread in index order — keep it that way, mutex-free.
 struct BenchRuntime {
   runtime::OperatorCache cache;
   runtime::ThreadPool pool;

@@ -114,6 +114,12 @@ using CsiBurst = std::vector<CMat>;
 /// with the operator setup shared through ctx.cache. results[i] is
 /// bit-identical to roarray_estimate(bursts[i], ...) at any thread
 /// count.
+///
+/// Concurrency contract (DESIGN.md §8): the only cross-thread state is
+/// the slot-per-burst results vector — worker i writes slot i and
+/// nothing else — plus the internally synchronized cache/pool in ctx.
+/// No locking happens at this layer, and none must be added without
+/// thread-safety annotations (runtime/thread_annotations.hpp).
 [[nodiscard]] std::vector<RoArrayResult> roarray_estimate_batch(
     std::span<const CsiBurst> bursts, const RoArrayConfig& cfg,
     const dsp::ArrayConfig& array_cfg, const runtime::EstimateContext& ctx = {});

@@ -40,7 +40,7 @@ std::shared_ptr<const CachedOperator> OperatorCache::get(
     const dsp::Grid& aoa_grid, const dsp::Grid& toa_grid,
     const dsp::ArrayConfig& array_cfg) {
   const OperatorKey key = OperatorKey::of(aoa_grid, toa_grid, array_cfg);
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) return it->second;
   // Build under the lock: first-touch stalls siblings briefly but
@@ -51,12 +51,12 @@ std::shared_ptr<const CachedOperator> OperatorCache::get(
 }
 
 std::size_t OperatorCache::size() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return entries_.size();
 }
 
 void OperatorCache::clear() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   entries_.clear();
 }
 

@@ -13,11 +13,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
 #include "dsp/constants.hpp"
 #include "dsp/grid.hpp"
+#include "runtime/thread_annotations.hpp"
 #include "sparse/operator.hpp"
 
 namespace roarray::runtime {
@@ -65,6 +65,11 @@ struct OperatorKey {
 /// Thread-safe memo of CachedOperator entries. Entries are never
 /// evicted (the working set is a handful of grid/array combinations);
 /// call clear() between unrelated workloads if memory matters.
+///
+/// Concurrency invariant (checked by clang -Wthread-safety): the entry
+/// map is guarded by mutex_; entries themselves are immutable once
+/// published, so the shared_ptr handed out by get() is safe to use from
+/// any thread with no further locking — even concurrently with clear().
 class OperatorCache {
  public:
   /// Returns the shared entry for this (grids, array) combination,
@@ -72,14 +77,15 @@ class OperatorCache {
   /// instance; the entry is immutable and safe to share across threads.
   [[nodiscard]] std::shared_ptr<const CachedOperator> get(
       const dsp::Grid& aoa_grid, const dsp::Grid& toa_grid,
-      const dsp::ArrayConfig& array_cfg);
+      const dsp::ArrayConfig& array_cfg) ROARRAY_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
-  void clear();
+  [[nodiscard]] std::size_t size() const ROARRAY_EXCLUDES(mutex_);
+  void clear() ROARRAY_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<OperatorKey, std::shared_ptr<const CachedOperator>> entries_;
+  mutable Mutex mutex_;
+  std::map<OperatorKey, std::shared_ptr<const CachedOperator>> entries_
+      ROARRAY_GUARDED_BY(mutex_);
 };
 
 /// Builds one entry from scratch (what get() does on a miss). Exposed

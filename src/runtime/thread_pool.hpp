@@ -8,23 +8,36 @@
 // done by the caller in index order — so results are bit-identical to a
 // serial loop regardless of thread count or scheduling.
 //
+// Concurrency invariants (statically checked by clang -Wthread-safety
+// via the annotations from runtime/thread_annotations.hpp):
+//   - call_mutex_ serializes top-level parallel_for calls: at most one
+//     job exists at a time, and the job descriptor (job_body_, job_n_,
+//     job_chunk_, job_generation_, job_error_) plus stop_ are guarded
+//     by mutex_.
+//   - job_next_ / job_done_ / active_workers_ are atomics shared by the
+//     claim loop; they are intentionally not mutex-guarded.
+//   - The pointee of job_body_ (the caller's std::function) is only
+//     dereferenced between job setup and the completion wait in the
+//     same parallel_for call, during which it is immutable; the wait
+//     for active_workers_ == 0 guarantees no straggler dereferences it
+//     after parallel_for returns.
+//
 // Header-only on purpose: roarray_sparse and roarray_loc use it without
 // depending on the roarray_runtime library (which itself depends on
 // roarray_sparse for the operator cache).
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "linalg/types.hpp"
+#include "runtime/thread_annotations.hpp"
 
 namespace roarray::runtime {
 
@@ -62,9 +75,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  /// Drains before stopping: taking call_mutex_ first means any
+  /// parallel_for already in flight on another thread finishes its job
+  /// (and stops touching pool members) before the workers are told to
+  /// exit — shutdown-while-busy is well-defined.
+  ~ThreadPool() ROARRAY_EXCLUDES(call_mutex_, mutex_) {
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock call_lk(call_mutex_);
+      MutexLock lk(mutex_);
       stop_ = true;
     }
     job_cv_.notify_all();
@@ -79,16 +97,17 @@ class ThreadPool {
   /// index is done. The first exception thrown by a body is rethrown on
   /// the calling thread after the loop drains. Nested calls (from inside
   /// a body) execute serially on the calling thread.
-  void parallel_for(index_t n, const std::function<void(index_t)>& body) const {
+  void parallel_for(index_t n, const std::function<void(index_t)>& body) const
+      ROARRAY_EXCLUDES(call_mutex_, mutex_) {
     if (n <= 0) return;
     if (threads_ == 1 || n == 1 || detail::in_parallel_region) {
       run_serial(n, body);
       return;
     }
     // One job at a time; concurrent top-level callers queue up here.
-    std::lock_guard<std::mutex> call_lock(call_mutex_);
+    MutexLock call_lock(call_mutex_);
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       job_body_ = &body;
       job_n_ = n;
       job_chunk_ = chunk_size(n);
@@ -102,12 +121,16 @@ class ThreadPool {
     // Wait until every index is done AND no worker is still inside the
     // claim loop — a straggler holding the old body pointer must not
     // observe the next job's counters.
-    std::unique_lock<std::mutex> lk(mutex_);
-    done_cv_.wait(lk, [&] {
-      return job_done_.load() >= job_n_ && active_workers_.load() == 0;
-    });
-    job_body_ = nullptr;
-    if (job_error_) std::rethrow_exception(job_error_);
+    std::exception_ptr error;
+    {
+      MutexLock lk(mutex_);
+      while (job_done_.load() < job_n_ || active_workers_.load() != 0) {
+        done_cv_.wait(mutex_);
+      }
+      job_body_ = nullptr;
+      error = job_error_;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
   /// Range/tile variant used by the blocked GEMM kernels: partitions
@@ -153,11 +176,11 @@ class ThreadPool {
 
   /// Claims chunks of the current job until none remain. Runs on workers
   /// and on the submitting thread alike.
-  void work_on_current_job() const {
+  void work_on_current_job() const ROARRAY_EXCLUDES(mutex_) {
     const std::function<void(index_t)>* body;
     index_t n, chunk;
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       body = job_body_;
       n = job_n_;
       chunk = job_chunk_;
@@ -172,33 +195,34 @@ class ThreadPool {
       try {
         for (index_t i = begin; i < end; ++i) (*body)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(mutex_);
+        MutexLock lk(mutex_);
         if (!job_error_) job_error_ = std::current_exception();
       }
       if (job_done_.fetch_add(end - begin, std::memory_order_acq_rel) +
               (end - begin) >= n) {
         // Lock before notifying so a waiter between predicate check and
         // sleep cannot miss the wakeup.
-        std::lock_guard<std::mutex> lk(mutex_);
+        MutexLock lk(mutex_);
         done_cv_.notify_all();
       }
     }
     detail::in_parallel_region = false;
     if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       done_cv_.notify_all();
     }
   }
 
-  void worker_loop() const {
+  void worker_loop() const ROARRAY_EXCLUDES(mutex_) {
     std::uint64_t seen_generation = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lk(mutex_);
-        job_cv_.wait(lk, [&] {
-          return stop_ || (job_body_ != nullptr && job_generation_ != seen_generation &&
-                           job_next_.load() < job_n_);
-        });
+        MutexLock lk(mutex_);
+        while (!stop_ &&
+               !(job_body_ != nullptr && job_generation_ != seen_generation &&
+                 job_next_.load() < job_n_)) {
+          job_cv_.wait(mutex_);
+        }
         if (stop_) return;
         seen_generation = job_generation_;
       }
@@ -209,19 +233,23 @@ class ThreadPool {
   const int threads_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex call_mutex_;  ///< serializes top-level parallel_for calls.
-  mutable std::mutex mutex_;
-  mutable std::condition_variable job_cv_;
-  mutable std::condition_variable done_cv_;
-  mutable const std::function<void(index_t)>* job_body_ = nullptr;
-  mutable index_t job_n_ = 0;
-  mutable index_t job_chunk_ = 1;
-  mutable std::uint64_t job_generation_ = 0;
+  /// Serializes top-level parallel_for calls (and drains them in the
+  /// destructor). Always acquired before mutex_ — never the other way.
+  mutable Mutex call_mutex_;
+  /// Guards the per-job descriptor and the stop flag below.
+  mutable Mutex mutex_;
+  mutable CondVar job_cv_;   ///< workers sleep here between jobs.
+  mutable CondVar done_cv_;  ///< the submitter sleeps here until done.
+  mutable const std::function<void(index_t)>* job_body_
+      ROARRAY_GUARDED_BY(mutex_) = nullptr;
+  mutable index_t job_n_ ROARRAY_GUARDED_BY(mutex_) = 0;
+  mutable index_t job_chunk_ ROARRAY_GUARDED_BY(mutex_) = 1;
+  mutable std::uint64_t job_generation_ ROARRAY_GUARDED_BY(mutex_) = 0;
   mutable std::atomic<index_t> job_next_{0};
   mutable std::atomic<index_t> job_done_{0};
   mutable std::atomic<int> active_workers_{0};
-  mutable std::exception_ptr job_error_;
-  mutable bool stop_ = false;
+  mutable std::exception_ptr job_error_ ROARRAY_GUARDED_BY(mutex_);
+  mutable bool stop_ ROARRAY_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace roarray::runtime

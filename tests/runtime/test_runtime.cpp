@@ -6,6 +6,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "channel/csi.hpp"
@@ -127,6 +128,36 @@ TEST(ThreadPool, EnvKnobParsesPositiveIntegers) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.threads(), 1);
   EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+TEST(ThreadAnnotations, MutexAndCondVarImplementLockableHandshake) {
+  // The annotated wrappers must behave exactly like the std primitives
+  // they wrap: exclusive try_lock, and a CondVar handshake that hands
+  // a guarded value from one thread to another.
+  Mutex m;
+  ASSERT_TRUE(m.try_lock());
+  std::atomic<bool> other_got_it{true};
+  std::thread prober([&] { other_got_it.store(m.try_lock()); });
+  prober.join();
+  EXPECT_FALSE(other_got_it.load());
+  m.unlock();
+
+  CondVar cv;
+  int stage = 0;  // guarded by m
+  std::thread consumer([&] {
+    MutexLock lk(m);
+    while (stage != 1) cv.wait(m);
+    stage = 2;
+    cv.notify_all();
+  });
+  {
+    MutexLock lk(m);
+    stage = 1;
+    cv.notify_all();
+    while (stage != 2) cv.wait(m);
+  }
+  consumer.join();
+  EXPECT_EQ(stage, 2);
 }
 
 TEST(OperatorCache, SameKeyReturnsSameInstance) {

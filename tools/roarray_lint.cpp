@@ -1,0 +1,463 @@
+// roarray_lint — repo-invariant linter for rules the generic tools
+// (clang-tidy, compiler warnings) cannot express.
+//
+// Rules (scoped by path; see rule_applies):
+//   determinism     No std::rand / random_device / wall-clock or timer
+//                   calls inside src/. Library results must be a pure
+//                   function of inputs + explicit seeds; entropy and
+//                   clocks belong to tests, benches, and tools.
+//   no-iostream     No <iostream> include or std::cout/cerr/clog/cin
+//                   use inside src/. Library code reports through
+//                   return values and exceptions; stream state is
+//                   global and its static init order is a liability.
+//   pragma-once     Every header carries #pragma once.
+//   mutable-global  No mutable namespace-scope variables in src/
+//                   outside src/runtime/ — shared mutable state is the
+//                   runtime layer's job, where it is mutex-guarded and
+//                   thread-safety-annotated.
+//
+// A finding on a specific line can be locally suppressed with a
+// justification comment on that line:
+//     ... // roarray-lint: allow(<rule>) <why>
+//
+// Usage:
+//   roarray_lint <path>...   lint files / directory trees (exit 1 on
+//                            findings)
+//   roarray_lint --self-test run the built-in fixture suite (exit 1 on
+//                            mismatch)
+//
+// Dependency-free by design (std only) so it builds in any environment
+// and runs as an ordinary ctest case.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Removes // and /* */ comments and the contents of string/char
+/// literals from one line, so token checks don't fire on prose or
+/// quoted text. `in_block` carries /* */ state across lines.
+[[nodiscard]] std::string strip_code(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// True if `code` contains `token` at an identifier boundary (so "time("
+/// does not match inside "runtime(").
+[[nodiscard]] bool has_token(std::string_view code, std::string_view token,
+                             bool require_call = false) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string_view::npos) {
+    const bool start_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t end = pos + token.size();
+    bool end_ok = end >= code.size() || !ident_char(code[end]);
+    if (require_call && end_ok) {
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end])) != 0) {
+        ++end;
+      }
+      end_ok = end < code.size() && code[end] == '(';
+    }
+    if (start_ok && end_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+[[nodiscard]] bool suppressed(const std::string& raw_line,
+                              std::string_view rule) {
+  const std::size_t pos = raw_line.find("roarray-lint: allow(");
+  if (pos == std::string::npos) return false;
+  const std::size_t open = raw_line.find('(', pos);
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return false;
+  const std::string_view rules(raw_line.data() + open + 1, close - open - 1);
+  return rules.find(rule) != std::string_view::npos;
+}
+
+[[nodiscard]] std::vector<std::string> path_components(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+struct PathScope {
+  bool in_src = false;      ///< some directory component is "src".
+  bool in_runtime = false;  ///< under a "runtime" component inside src.
+};
+
+[[nodiscard]] PathScope classify(const std::string& path) {
+  PathScope scope;
+  const auto parts = path_components(path);
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == "src") {
+      scope.in_src = true;
+      for (std::size_t j = i + 1; j + 1 < parts.size(); ++j) {
+        if (parts[j] == "runtime") scope.in_runtime = true;
+      }
+    }
+  }
+  return scope;
+}
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Tokens that make library output depend on process entropy or clocks.
+/// `require_call` distinguishes calls from substrings of longer names.
+struct ForbiddenToken {
+  const char* token;
+  bool require_call;
+};
+constexpr ForbiddenToken kDeterminismTokens[] = {
+    {"rand", true},          {"srand", true},
+    {"rand_r", true},        {"random_device", false},
+    {"system_clock", false}, {"steady_clock", false},
+    {"high_resolution_clock", false},
+    {"gettimeofday", true},  {"clock_gettime", true},
+    {"time", true},          {"clock", true},
+    {"localtime", true},     {"gmtime", true},
+};
+
+/// Heuristic for a mutable namespace-scope variable definition. Only
+/// lines at column 0 are considered (this codebase does not indent
+/// namespace contents; class members and function bodies are indented),
+/// and declaration keywords that cannot define a mutable object bail
+/// out early. Function definitions/declarations are excluded by the
+/// no-parenthesis requirement.
+[[nodiscard]] bool looks_like_mutable_global(const std::string& code) {
+  if (code.empty() || std::isspace(static_cast<unsigned char>(code[0])) != 0) {
+    return false;
+  }
+  const std::string t = trim(code);
+  for (const char* benign :
+       {"#", "//", "}", "{", "using ", "typedef ", "namespace ", "template",
+        "struct ", "class ", "enum ", "return ", "friend ", "extern ",
+        "case ", "public", "private", "protected", "ROARRAY_", "TEST"}) {
+    if (starts_with(t, benign)) return false;
+  }
+  if (t.find("const") != std::string::npos) return false;  // const/constexpr
+  if (t.find('(') != std::string::npos) return false;      // function-ish
+  const bool storage = starts_with(t, "static ") || starts_with(t, "inline ") ||
+                       starts_with(t, "thread_local ") ||
+                       starts_with(t, "mutable ");
+  const bool defines = t.find('=') != std::string::npos ||
+                       (!t.empty() && t.back() == ';');
+  if (!defines) return false;
+  if (storage) return true;
+  if (!ident_char(t[0])) return false;
+  // Plain `T name = init;` at namespace scope. Without an initializer,
+  // require at least two identifier-ish tokens (`std::random_device rd;`)
+  // so single-word statements don't trip.
+  if (t.find('=') != std::string::npos) return true;
+  int words = 0;
+  bool in_word = false;
+  for (const char c : t) {
+    const bool w = ident_char(c);
+    if (w && !in_word) ++words;
+    in_word = w;
+  }
+  return words >= 2;
+}
+
+void scan_content(const std::string& path, const std::string& content,
+                  std::vector<Finding>& findings) {
+  const PathScope scope = classify(path);
+  const bool is_header = path.size() >= 4 &&
+                         (path.compare(path.size() - 4, 4, ".hpp") == 0 ||
+                          path.compare(path.size() - 2, 2, ".h") == 0);
+
+  std::istringstream in(content);
+  std::string raw;
+  bool in_block = false;
+  bool saw_pragma_once = false;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string code = strip_code(raw, in_block);
+    const std::string t = trim(code);
+    if (t == "#pragma once") saw_pragma_once = true;
+
+    if (scope.in_src) {
+      if (!suppressed(raw, "determinism")) {
+        for (const ForbiddenToken& f : kDeterminismTokens) {
+          if (has_token(code, f.token, f.require_call)) {
+            findings.push_back(
+                {path, lineno, "determinism",
+                 std::string("forbidden nondeterminism source '") + f.token +
+                     "' in library code (seed explicitly instead)"});
+            break;
+          }
+        }
+      }
+      if (!suppressed(raw, "no-iostream")) {
+        const bool include_hit = starts_with(t, "#include") &&
+                                 t.find("<iostream>") != std::string::npos;
+        const bool use_hit = has_token(code, "cout") ||
+                             has_token(code, "cerr") ||
+                             has_token(code, "clog") || has_token(code, "cin");
+        if (include_hit || use_hit) {
+          findings.push_back({path, lineno, "no-iostream",
+                              "iostream is banned in library targets (return "
+                              "values / exceptions instead)"});
+        }
+      }
+      if (!scope.in_runtime && !suppressed(raw, "mutable-global") &&
+          looks_like_mutable_global(code)) {
+        findings.push_back(
+            {path, lineno, "mutable-global",
+             "mutable namespace-scope state outside src/runtime/ (move it "
+             "into the runtime layer and guard it)"});
+      }
+    }
+  }
+  if (is_header && !saw_pragma_once) {
+    findings.push_back(
+        {path, 1, "pragma-once", "header is missing #pragma once"});
+  }
+}
+
+[[nodiscard]] bool scan_file(const std::string& path,
+                             std::vector<Finding>& findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "roarray_lint: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  scan_content(path, buf.str(), findings);
+  return true;
+}
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+[[nodiscard]] bool collect(const std::string& arg,
+                           std::vector<std::string>& files) {
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    for (auto it = fs::recursive_directory_iterator(arg, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() &&
+          (name == ".git" || starts_with(name, "build"))) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path().string());
+      }
+    }
+    return !ec;
+  }
+  if (fs::is_regular_file(arg, ec)) {
+    files.push_back(arg);
+    return true;
+  }
+  std::fprintf(stderr, "roarray_lint: no such file or directory: %s\n",
+               arg.c_str());
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test fixtures: each snippet is scanned under a virtual path and
+// must produce exactly the expected rule hits.
+
+struct Fixture {
+  const char* name;
+  const char* path;
+  const char* content;
+  std::vector<std::string> expected_rules;  ///< sorted, may repeat.
+};
+
+[[nodiscard]] int run_self_test() {
+  const std::vector<Fixture> fixtures = {
+      {"rand call flagged", "src/dsp/a.cpp",
+       "int f() { return rand(); }\n", {"determinism"}},
+      {"std::rand flagged", "src/dsp/a.cpp",
+       "#include <cstdlib>\nint f() { return std::rand(); }\n",
+       {"determinism"}},
+      {"random_device flagged", "src/core/b.cpp",
+       "std::random_device rd;\n", {"determinism", "mutable-global"}},
+      {"wall clock flagged", "src/core/b.cpp",
+       "auto t = std::chrono::system_clock::now();\n", {"determinism"}},
+      {"time() call flagged", "src/core/b.cpp",
+       "long f() { return time(nullptr); }\n", {"determinism"}},
+      {"runtime( is not time(", "src/core/b.cpp",
+       "void runtime(int); void f() { runtime (3); }\n", {}},
+      {"comment mention ok", "src/core/b.cpp",
+       "// steady_clock would break determinism here\nint x() { return 1; }\n",
+       {}},
+      {"string mention ok", "src/core/b.cpp",
+       "const char* k = \"std::rand() is banned\";\n", {}},
+      {"block comment ok", "src/core/b.cpp",
+       "/* srand(7) was\n   the old seeding */\nint y() { return 2; }\n", {}},
+      {"suppression honored", "src/core/b.cpp",
+       "long f() { return time(nullptr); }  // roarray-lint: allow(determinism)"
+       " boot stamp only\n",
+       {}},
+      {"clock outside src ok", "bench/b.cpp",
+       "auto t = std::chrono::steady_clock::now();\n", {}},
+      {"iostream include flagged", "src/eval/c.cpp",
+       "#include <iostream>\n", {"no-iostream"}},
+      {"cerr use flagged", "src/eval/c.cpp",
+       "void f() { std::cerr << 1; }\n", {"no-iostream"}},
+      {"iostream in tests ok", "tests/t.cpp", "#include <iostream>\n", {}},
+      {"missing pragma once", "src/dsp/h.hpp", "int f();\n", {"pragma-once"}},
+      {"pragma once present", "src/dsp/h.hpp",
+       "// doc\n#pragma once\nint f();\n", {}},
+      {"pragma enforced outside src too", "tests/t.hpp", "int f();\n",
+       {"pragma-once"}},
+      {"mutable global flagged", "src/music/g.cpp",
+       "static int call_count = 0;\n", {"mutable-global"}},
+      {"inline global flagged", "src/music/g.hpp",
+       "#pragma once\ninline int hits = 0;\n", {"mutable-global"}},
+      {"plain global flagged", "src/music/g.cpp",
+       "int counter = 0;\n", {"mutable-global"}},
+      {"const global ok", "src/music/g.cpp",
+       "static const int kLimit = 3;\n", {}},
+      {"constexpr global ok", "src/music/g.hpp",
+       "#pragma once\ninline constexpr double kPi = 3.14;\n", {}},
+      {"function def ok", "src/music/g.cpp",
+       "static int helper() { return 1; }\n", {}},
+      {"indented local ok", "src/music/g.cpp",
+       "int f() {\n  static int memo = compute();\n  return memo;\n}\n", {}},
+      {"runtime exempt", "src/runtime/pool.cpp",
+       "inline thread_local bool in_region = false;\n", {}},
+      {"global in tests ok", "tests/t.cpp", "static int hits = 0;\n", {}},
+      {"suppressed global ok", "src/music/g.cpp",
+       "static int hits = 0;  // roarray-lint: allow(mutable-global) why\n",
+       {}},
+  };
+
+  int failures = 0;
+  for (const Fixture& fx : fixtures) {
+    std::vector<Finding> findings;
+    scan_content(fx.path, fx.content, findings);
+    std::vector<std::string> got;
+    got.reserve(findings.size());
+    for (const Finding& f : findings) got.push_back(f.rule);
+    std::sort(got.begin(), got.end());
+    std::vector<std::string> want = fx.expected_rules;
+    std::sort(want.begin(), want.end());
+    if (got != want) {
+      ++failures;
+      std::string got_s, want_s;
+      for (const auto& r : got) got_s += r + " ";
+      for (const auto& r : want) want_s += r + " ";
+      std::fprintf(stderr, "self-test FAIL: %s\n  want: [%s]\n  got:  [%s]\n",
+                   fx.name, want_s.c_str(), got_s.c_str());
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "roarray_lint self-test: %d fixture(s) failed\n",
+                 failures);
+    return 1;
+  }
+  std::printf("roarray_lint self-test: %zu fixtures OK\n", fixtures.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s [--self-test] <path>...\n", argv[0]);
+    return 2;
+  }
+  if (std::string_view(argv[1]) == "--self-test") return run_self_test();
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (!collect(argv[i], files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    if (!scan_file(f, findings)) return 2;
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "roarray_lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  std::printf("roarray_lint: %zu files clean\n", files.size());
+  return 0;
+}
