@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <random>
 
 #include "runtime/seed.hpp"
@@ -171,6 +172,23 @@ std::vector<SystemErrors> run_band(const sim::Testbed& testbed,
 
 std::vector<double> cdf_fractions() {
   return {0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+}
+
+bool write_json_report(const std::string& path,
+                       const std::function<void(eval::JsonWriter&)>& body) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  eval::JsonWriter w(f);
+  body(w);
+  f.flush();
+  if (!f || !w.complete()) {
+    std::fprintf(stderr, "writing %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace roarray::bench

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/roarray.hpp"
+#include "eval/report.hpp"
 #include "loc/localize.hpp"
 #include "music/arraytrack.hpp"
 #include "music/spotfi.hpp"
@@ -99,5 +101,14 @@ struct SystemErrors {
 
 /// The three-band fractions used by every CDF table.
 [[nodiscard]] std::vector<double> cdf_fractions();
+
+/// Writes a JSON artifact to `path`: opens the file, hands a JsonWriter
+/// to `body`, then verifies the stream flushed and the writer emitted a
+/// complete document. Returns false with a stderr diagnostic on any
+/// failure — callers must exit nonzero so CI smoke legs never mistake a
+/// missing or half-written report for a result.
+[[nodiscard]] bool write_json_report(
+    const std::string& path,
+    const std::function<void(eval::JsonWriter&)>& body);
 
 }  // namespace roarray::bench

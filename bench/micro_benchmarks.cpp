@@ -614,68 +614,60 @@ bool same_samples(const std::vector<bench::SystemErrors>& a,
   const bool cached_identical = same_samples(serial_percall, serial_cached);
   const bool parallel_identical = same_samples(serial_cached, parallel_cached);
 
-  std::ofstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path);
-    return false;
-  }
-  eval::JsonWriter w(f);
-  w.begin_object();
-  w.key("threads").value(par_opts.threads);
-  w.key("hardware_threads").value(runtime::ThreadPool::default_thread_count());
-  w.key("workload").begin_object();
-  w.key("figure").value("fig6-subset");
-  w.key("locations").value(static_cast<std::int64_t>(opts.locations));
-  w.key("packets").value(static_cast<std::int64_t>(opts.packets));
-  w.key("aps").value(6);
-  w.key("band").value("medium");
-  w.end_object();
-  w.key("op_setup").begin_object();
-  w.key("uncached_ms").value(setup_uncached_ms);
-  w.key("cached_hit_ms").value(setup_cached_ms);
-  w.key("speedup").value(setup_uncached_ms / std::max(setup_cached_ms, 1e-6));
-  w.end_object();
-  w.key("solve").begin_object();
-  w.key("lipschitz_per_call_ms").value(solve_percall_ms);
-  w.key("cached_hint_ms").value(solve_cached_ms);
-  w.key("speedup").value(solve_percall_ms / std::max(solve_cached_ms, 1e-6));
-  w.end_object();
-  w.key("kernels").begin_object();
-  w.key("gemm_blocked_ms").value(gemm_blocked_ms);
-  w.key("gemm_naive_ms").value(gemm_naive_ms);
-  w.key("gemm_blocked_speedup")
-      .value(gemm_naive_ms / std::max(gemm_blocked_ms, 1e-6));
-  w.key("gemm_blocked_max_abs_diff").value(gemm_max_abs_diff);
-  w.key("gemm_blocked_matches_naive").value(gemm_matches);
-  w.key("kron_apply_mat_batched_ms").value(kron_batched_ms);
-  w.key("kron_apply_mat_percolumn_ms").value(kron_percol_ms);
-  w.key("kron_batched_speedup")
-      .value(kron_percol_ms / std::max(kron_batched_ms, 1e-6));
-  w.key("kron_batched_identical_to_percolumn").value(kron_identical);
-  w.key("fista_reuse_ms").value(fista_reuse_ms);
-  w.key("fista_direct_ms").value(fista_direct_ms);
-  w.key("fista_reuse_speedup")
-      .value(fista_direct_ms / std::max(fista_reuse_ms, 1e-6));
-  w.key("fista_reuse_max_rel_diff").value(fista_rel_diff);
-  w.key("fista_reuse_matches_direct").value(fista_matches);
-  w.end_object();
-  w.key("fig6_end_to_end").begin_object();
-  w.key("serial_percall_ms").value(e2e_percall_ms);
-  w.key("serial_cached_ms").value(e2e_serial_cached_ms);
-  w.key("parallel_cached_ms").value(e2e_parallel_ms);
-  w.key("cached_speedup_vs_percall")
-      .value(e2e_percall_ms / std::max(e2e_serial_cached_ms, 1e-6));
-  w.key("parallel_cached_speedup_vs_percall")
-      .value(e2e_percall_ms / std::max(e2e_parallel_ms, 1e-6));
-  w.key("cached_identical_to_percall").value(cached_identical);
-  w.key("parallel_identical_to_serial").value(parallel_identical);
-  w.end_object();
-  w.end_object();
-  f.flush();
-  if (!f || !w.complete()) {
-    std::fprintf(stderr, "writing %s failed\n", path);
-    return false;
-  }
+  const bool written = bench::write_json_report(path, [&](eval::JsonWriter& w) {
+    w.begin_object();
+    w.key("threads").value(par_opts.threads);
+    w.key("hardware_threads").value(runtime::ThreadPool::default_thread_count());
+    w.key("workload").begin_object();
+    w.key("figure").value("fig6-subset");
+    w.key("locations").value(static_cast<std::int64_t>(opts.locations));
+    w.key("packets").value(static_cast<std::int64_t>(opts.packets));
+    w.key("aps").value(6);
+    w.key("band").value("medium");
+    w.end_object();
+    w.key("op_setup").begin_object();
+    w.key("uncached_ms").value(setup_uncached_ms);
+    w.key("cached_hit_ms").value(setup_cached_ms);
+    w.key("speedup").value(setup_uncached_ms / std::max(setup_cached_ms, 1e-6));
+    w.end_object();
+    w.key("solve").begin_object();
+    w.key("lipschitz_per_call_ms").value(solve_percall_ms);
+    w.key("cached_hint_ms").value(solve_cached_ms);
+    w.key("speedup").value(solve_percall_ms / std::max(solve_cached_ms, 1e-6));
+    w.end_object();
+    w.key("kernels").begin_object();
+    w.key("gemm_blocked_ms").value(gemm_blocked_ms);
+    w.key("gemm_naive_ms").value(gemm_naive_ms);
+    w.key("gemm_blocked_speedup")
+        .value(gemm_naive_ms / std::max(gemm_blocked_ms, 1e-6));
+    w.key("gemm_blocked_max_abs_diff").value(gemm_max_abs_diff);
+    w.key("gemm_blocked_matches_naive").value(gemm_matches);
+    w.key("kron_apply_mat_batched_ms").value(kron_batched_ms);
+    w.key("kron_apply_mat_percolumn_ms").value(kron_percol_ms);
+    w.key("kron_batched_speedup")
+        .value(kron_percol_ms / std::max(kron_batched_ms, 1e-6));
+    w.key("kron_batched_identical_to_percolumn").value(kron_identical);
+    w.key("fista_reuse_ms").value(fista_reuse_ms);
+    w.key("fista_direct_ms").value(fista_direct_ms);
+    w.key("fista_reuse_speedup")
+        .value(fista_direct_ms / std::max(fista_reuse_ms, 1e-6));
+    w.key("fista_reuse_max_rel_diff").value(fista_rel_diff);
+    w.key("fista_reuse_matches_direct").value(fista_matches);
+    w.end_object();
+    w.key("fig6_end_to_end").begin_object();
+    w.key("serial_percall_ms").value(e2e_percall_ms);
+    w.key("serial_cached_ms").value(e2e_serial_cached_ms);
+    w.key("parallel_cached_ms").value(e2e_parallel_ms);
+    w.key("cached_speedup_vs_percall")
+        .value(e2e_percall_ms / std::max(e2e_serial_cached_ms, 1e-6));
+    w.key("parallel_cached_speedup_vs_percall")
+        .value(e2e_percall_ms / std::max(e2e_parallel_ms, 1e-6));
+    w.key("cached_identical_to_percall").value(cached_identical);
+    w.key("parallel_identical_to_serial").value(parallel_identical);
+    w.end_object();
+    w.end_object();
+  });
+  if (!written) return false;
   std::printf("wrote %s (parallel identical to serial: %s)\n", path,
               parallel_identical ? "yes" : "NO");
   return true;

@@ -28,6 +28,13 @@
 #                                     when the toolchain cannot link
 #                                     -fsanitize=thread; any TSan report
 #                                     fails the leg.
+#   scripts/ci.sh --serve-smoke [jobs] record a small CSI trace, replay
+#                                     it through the localization
+#                                     service via bench/serve_throughput,
+#                                     and check BENCH_serve.json parses
+#                                     with nonzero sustained throughput
+#                                     in both serving modes. Also runs
+#                                     inside the full leg.
 #   scripts/ci.sh --tidy [jobs]       static-analysis leg: clang-tidy
 #                                     over src/ with the committed
 #                                     .clang-tidy (via the exported
@@ -60,8 +67,45 @@ case "${1:-}" in
     MODE=tidy
     shift
     ;;
+  --serve-smoke)
+    MODE=serve_smoke
+    shift
+    ;;
 esac
 JOBS="${1:-$(nproc)}"
+
+# Records a small trace, replays it through LocalizationService in both
+# serving modes (bench/serve_throughput does the record+replay), and
+# verifies BENCH_serve.json is well-formed with nonzero sustained
+# throughput. Assumes the default preset is already built.
+serve_smoke() {
+  echo "== Serve smoke (record/replay + BENCH_serve.json) =="
+  ./build/bench/serve_throughput --clients 4 --requests 16 --iterations 20 \
+    --threads 4 --record build/BENCH_serve_trace.bin \
+    --json build/BENCH_serve.json
+  test -s build/BENCH_serve.json
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+with open("build/BENCH_serve.json") as f:
+    report = json.load(f)
+for mode in ("batch1", "dynamic"):
+    rps = report[mode]["sustained_rps"]
+    if not rps > 0.0:
+        raise SystemExit(f"serve smoke FAILED: {mode}.sustained_rps = {rps}")
+print("serve smoke: JSON parses,",
+      ", ".join(f"{m} {report[m]['sustained_rps']:.1f} req/s"
+                for m in ("batch1", "dynamic")))
+EOF
+  else
+    # Fallback without python3: a zero/absent rate never matches.
+    grep -qE '"sustained_rps": *[0-9]*[1-9]' build/BENCH_serve.json || {
+      echo "serve smoke FAILED: no nonzero sustained_rps in BENCH_serve.json" >&2
+      exit 1
+    }
+    echo "serve smoke: BENCH_serve.json has nonzero sustained_rps (grep check)"
+  fi
+}
 
 if [[ "$MODE" == soak ]]; then
   echo "== Property soak (${SOAK_SECONDS}s wall-clock budget) =="
@@ -177,6 +221,14 @@ if [[ "$MODE" == tidy ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == serve_smoke ]]; then
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "${JOBS}" --target serve_throughput
+  serve_smoke
+  echo "Serve smoke OK"
+  exit 0
+fi
+
 echo "== Release build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
@@ -197,6 +249,8 @@ if grep -nE '"[a-z0-9_]*(identical|matches)[a-z0-9_]*": *false' \
   echo "bench smoke FAILED: an identity flag in BENCH_micro.json is false" >&2
   exit 1
 fi
+
+serve_smoke
 
 echo "== ASan+UBSan build =="
 cmake --preset asan-ubsan

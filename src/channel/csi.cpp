@@ -71,6 +71,13 @@ double rssi_db(const CMat& csi) {
   return 10.0 * std::log10(std::max(p, 1e-30));
 }
 
+double burst_rssi_weight(std::span<const CMat> packets) {
+  if (packets.empty()) return 0.0;
+  double acc = 0.0;
+  for (const CMat& csi : packets) acc += mean_power(csi);
+  return acc / static_cast<double>(packets.size());
+}
+
 double add_noise(CMat& csi, double snr_db, std::mt19937_64& rng) {
   const double signal_power = mean_power(csi);
   const double noise_power = signal_power / std::pow(10.0, snr_db / 10.0);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <random>
+#include <span>
 #include <vector>
 
 #include "channel/multipath.hpp"
@@ -46,6 +47,13 @@ double add_noise(CMat& csi, double snr_db, std::mt19937_64& rng);
 
 /// RSSI in dB (arbitrary reference) from mean CSI power.
 [[nodiscard]] double rssi_db(const CMat& csi);
+
+/// Burst-level RSSI fusion weight: the mean of mean_power over the
+/// packets, accumulated in packet order. This exact expression (same
+/// order, same division) is shared by simulation and replay so the
+/// localization weights are bit-identical either way; 0 for an empty
+/// burst.
+[[nodiscard]] double burst_rssi_weight(std::span<const CMat> packets);
 
 /// A burst of CSI measurements from consecutive packets, each with its
 /// own detection delay and noise realization but shared geometry.

@@ -1,0 +1,57 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to detect
+// corruption in the on-disk CSI trace format. Table-driven and
+// constexpr so the table is baked at compile time and the routines are
+// usable from tests on raw byte images.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace roarray::io {
+
+namespace detail {
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Starting state for an incremental CRC-32.
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept {
+  return 0xFFFFFFFFU;
+}
+
+/// Folds `n` bytes into the running state.
+[[nodiscard]] constexpr std::uint32_t crc32_update(std::uint32_t state,
+                                                   const unsigned char* data,
+                                                   std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    state = detail::kCrc32Table[(state ^ data[i]) & 0xFFU] ^ (state >> 8);
+  }
+  return state;
+}
+
+/// Final xor-out step.
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFU;
+}
+
+/// One-shot CRC-32 of a byte buffer.
+[[nodiscard]] constexpr std::uint32_t crc32(const unsigned char* data,
+                                            std::size_t n) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace roarray::io

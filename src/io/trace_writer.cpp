@@ -1,0 +1,79 @@
+#include "io/trace_writer.hpp"
+
+#include <ostream>
+
+#include "io/crc32.hpp"
+
+namespace roarray::io {
+
+TraceWriter::TraceWriter(std::ostream& os, const dsp::ArrayConfig& array_cfg)
+    : os_(os), header_(TraceHeader::of(array_cfg)) {
+  write_header();
+}
+
+TraceWriter::TraceWriter(const std::string& path,
+                         const dsp::ArrayConfig& array_cfg)
+    : owned_(path, std::ios::binary | std::ios::trunc),
+      os_(owned_),
+      header_(TraceHeader::of(array_cfg)) {
+  if (!owned_) {
+    throw TraceError(TraceErrorCode::kWriteFailed,
+                     "cannot open trace file for writing: " + path);
+  }
+  write_header();
+}
+
+void TraceWriter::write_header() {
+  const std::vector<unsigned char> image = encode_header(header_);
+  os_.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!os_) {
+    throw TraceError(TraceErrorCode::kWriteFailed,
+                     "writing trace header failed");
+  }
+}
+
+void TraceWriter::append(const TraceRecord& record) {
+  const auto rows = static_cast<index_t>(header_.num_antennas);
+  const auto cols = static_cast<index_t>(header_.num_subcarriers);
+  if (record.csi.rows() != rows || record.csi.cols() != cols) {
+    throw TraceError(
+        TraceErrorCode::kGeometryMismatch,
+        "record CSI is " + std::to_string(record.csi.rows()) + "x" +
+            std::to_string(record.csi.cols()) + " but the trace header says " +
+            std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  buf_.clear();
+  buf_.reserve(header_.record_size_bytes());
+  wire::put_u32(buf_, kRecordMagic);
+  wire::put_u32(buf_, record.ap_id);
+  wire::put_u64(buf_, record.client_id);
+  wire::put_u64(buf_, record.timestamp_tick);
+  wire::put_f64(buf_, record.snr_db);
+  // Column-major (antenna-fastest), matching linalg::Matrix storage.
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      const linalg::cxd v = record.csi(i, j);
+      wire::put_f64(buf_, v.real());
+      wire::put_f64(buf_, v.imag());
+    }
+  }
+  wire::put_u32(buf_, crc32(buf_.data(), buf_.size()));
+  os_.write(reinterpret_cast<const char*>(buf_.data()),
+            static_cast<std::streamsize>(buf_.size()));
+  if (!os_) {
+    throw TraceError(TraceErrorCode::kWriteFailed,
+                     "writing trace record " + std::to_string(records_) +
+                         " failed");
+  }
+  ++records_;
+}
+
+void TraceWriter::flush() {
+  os_.flush();
+  if (!os_) {
+    throw TraceError(TraceErrorCode::kWriteFailed, "flushing trace failed");
+  }
+}
+
+}  // namespace roarray::io

@@ -1,0 +1,55 @@
+// Streaming CSI trace writer: header on construction, one fixed-size
+// CRC-protected record per append, bounded memory (a single reused
+// record buffer regardless of trace length). See format.hpp for the
+// byte layout.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/format.hpp"
+
+namespace roarray::io {
+
+class TraceWriter {
+ public:
+  /// Writes the header for `array_cfg` to `os`. The stream must be
+  /// binary-clean (no text translation); it is borrowed, not owned.
+  /// Throws TraceError(kWriteFailed) if the header cannot be written.
+  TraceWriter(std::ostream& os, const dsp::ArrayConfig& array_cfg);
+
+  /// Opens `path` (truncating) and writes the header. Throws
+  /// TraceError(kWriteFailed) when the file cannot be opened.
+  TraceWriter(const std::string& path, const dsp::ArrayConfig& array_cfg);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one record. The CSI matrix must match the header geometry
+  /// (TraceError(kGeometryMismatch) otherwise); stream failures throw
+  /// TraceError(kWriteFailed).
+  void append(const TraceRecord& record);
+
+  /// Flushes the underlying stream; throws TraceError(kWriteFailed) if
+  /// the stream is in a failed state afterwards.
+  void flush();
+
+  [[nodiscard]] const TraceHeader& header() const noexcept { return header_; }
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_;
+  }
+
+ private:
+  void write_header();
+
+  std::ofstream owned_;  ///< backing file for the path constructor.
+  std::ostream& os_;
+  TraceHeader header_;
+  std::vector<unsigned char> buf_;  ///< reused per-record scratch.
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace roarray::io

@@ -1,0 +1,34 @@
+#include "sim/recorder.hpp"
+
+namespace roarray::sim {
+
+std::uint64_t record_burst(io::TraceWriter& writer,
+                           const channel::PacketBurst& burst,
+                           std::uint32_t ap_id, std::uint64_t client_id,
+                           double snr_db, std::uint64_t start_tick) {
+  io::TraceRecord rec;
+  rec.ap_id = ap_id;
+  rec.client_id = client_id;
+  rec.snr_db = snr_db;
+  std::uint64_t tick = start_tick;
+  for (const auto& csi : burst.csi) {
+    rec.timestamp_tick = tick++;
+    rec.csi = csi;
+    writer.append(rec);
+  }
+  return tick;
+}
+
+std::uint64_t record_round(io::TraceWriter& writer,
+                           std::span<const ApMeasurement> measurements,
+                           std::uint64_t client_id, std::uint64_t start_tick) {
+  std::uint64_t tick = start_tick;
+  for (std::size_t ap = 0; ap < measurements.size(); ++ap) {
+    const ApMeasurement& m = measurements[ap];
+    tick = record_burst(writer, m.burst, static_cast<std::uint32_t>(ap),
+                        client_id, m.snr_db, tick);
+  }
+  return tick;
+}
+
+}  // namespace roarray::sim

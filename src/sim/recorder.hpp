@@ -1,0 +1,31 @@
+// Bridges simulation output into the trace format: records a client's
+// measurement round packet-by-packet so the round can later be replayed
+// bit-exactly through the offline pipeline or the localization service.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "io/trace_writer.hpp"
+#include "sim/scenario.hpp"
+
+namespace roarray::sim {
+
+/// Writes one AP's packet burst as consecutive records. Ticks count up
+/// from `start_tick`, one per packet; returns the tick after the last
+/// packet.
+std::uint64_t record_burst(io::TraceWriter& writer,
+                           const channel::PacketBurst& burst,
+                           std::uint32_t ap_id, std::uint64_t client_id,
+                           double snr_db, std::uint64_t start_tick);
+
+/// Records a full measurement round — every AP's burst, AP ids taken
+/// from the measurement order — and returns the tick after the round.
+/// Replaying the resulting records through io::read_client_rounds
+/// reconstructs exactly the bursts recorded here (same packet order,
+/// same bit patterns).
+std::uint64_t record_round(io::TraceWriter& writer,
+                           std::span<const ApMeasurement> measurements,
+                           std::uint64_t client_id, std::uint64_t start_tick);
+
+}  // namespace roarray::sim

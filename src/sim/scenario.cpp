@@ -102,9 +102,7 @@ std::vector<ApMeasurement> generate_measurements(const Testbed& testbed,
     m.burst = channel::generate_burst(m.paths, cfg.array, bc, rng);
     // Measured RSSI (signal + noise), as a real receiver would report —
     // at low SNR the noise floor flattens the weights.
-    double rssi_acc = 0.0;
-    for (const auto& csi : m.burst.csi) rssi_acc += channel::mean_power(csi);
-    m.rssi_weight = rssi_acc / static_cast<double>(m.burst.csi.size());
+    m.rssi_weight = channel::burst_rssi_weight(m.burst.csi);
     out.push_back(std::move(m));
   }
   return out;

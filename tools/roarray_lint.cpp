@@ -15,6 +15,11 @@
 //                   outside src/runtime/ — shared mutable state is the
 //                   runtime layer's job, where it is mutex-guarded and
 //                   thread-safety-annotated.
+//   unchecked-io    No discarded fread/fwrite results inside src/io.
+//                   A short read/write there is data, not noise: it must
+//                   flow into the typed TraceError/ReadStatus machinery,
+//                   so statement-position and (void)-cast calls are
+//                   banned (results used in a condition/assignment pass).
 //
 // A finding on a specific line can be locally suppressed with a
 // justification comment on that line:
@@ -145,6 +150,7 @@ struct Finding {
 struct PathScope {
   bool in_src = false;      ///< some directory component is "src".
   bool in_runtime = false;  ///< under a "runtime" component inside src.
+  bool in_io = false;       ///< under an "io" component inside src.
 };
 
 [[nodiscard]] PathScope classify(const std::string& path) {
@@ -155,6 +161,7 @@ struct PathScope {
       scope.in_src = true;
       for (std::size_t j = i + 1; j + 1 < parts.size(); ++j) {
         if (parts[j] == "runtime") scope.in_runtime = true;
+        if (parts[j] == "io") scope.in_io = true;
       }
     }
   }
@@ -229,6 +236,30 @@ constexpr ForbiddenToken kDeterminismTokens[] = {
   return words >= 2;
 }
 
+/// Detects an fread/fwrite call whose result is visibly discarded: the
+/// trimmed statement begins with the call itself, optionally behind a
+/// (void) cast. Results consumed by a condition, assignment, or
+/// comparison leave the call mid-expression and do not match.
+[[nodiscard]] bool discards_stdio_result(const std::string& trimmed) {
+  std::string_view t = trimmed;
+  if (starts_with(t, "(void)")) {
+    t.remove_prefix(6);
+    while (!t.empty() && std::isspace(static_cast<unsigned char>(t[0])) != 0) {
+      t.remove_prefix(1);
+    }
+  }
+  for (const std::string_view call : {"std::fread", "std::fwrite", "::fread",
+                                      "::fwrite", "fread", "fwrite"}) {
+    if (!starts_with(t, call)) continue;
+    std::size_t i = call.size();
+    while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])) != 0) {
+      ++i;
+    }
+    if (i < t.size() && t[i] == '(') return true;
+  }
+  return false;
+}
+
 void scan_content(const std::string& path, const std::string& content,
                   std::vector<Finding>& findings) {
   const PathScope scope = classify(path);
@@ -270,6 +301,13 @@ void scan_content(const std::string& path, const std::string& content,
                               "iostream is banned in library targets (return "
                               "values / exceptions instead)"});
         }
+      }
+      if (scope.in_io && !suppressed(raw, "unchecked-io") &&
+          discards_stdio_result(t)) {
+        findings.push_back(
+            {path, lineno, "unchecked-io",
+             "discarded fread/fwrite result in src/io (short reads/writes "
+             "must reach the typed TraceError/ReadStatus paths)"});
       }
       if (!scope.in_runtime && !suppressed(raw, "mutable-global") &&
           looks_like_mutable_global(code)) {
@@ -399,6 +437,31 @@ struct Fixture {
       {"global in tests ok", "tests/t.cpp", "static int hits = 0;\n", {}},
       {"suppressed global ok", "src/music/g.cpp",
        "static int hits = 0;  // roarray-lint: allow(mutable-global) why\n",
+       {}},
+      {"bare fread flagged in io", "src/io/r.cpp",
+       "void f(FILE* fp, char* b) {\n  fread(b, 1, 8, fp);\n}\n",
+       {"unchecked-io"}},
+      {"void-cast fwrite flagged in io", "src/io/w.cpp",
+       "void f(FILE* fp, const char* b) {\n  (void)fwrite(b, 1, 8, fp);\n}\n",
+       {"unchecked-io"}},
+      {"std::fread flagged in io", "src/io/r.cpp",
+       "void f(FILE* fp, char* b) {\n  std::fread(b, 1, 8, fp);\n}\n",
+       {"unchecked-io"}},
+      {"checked fread ok in io", "src/io/r.cpp",
+       "bool f(FILE* fp, char* b) {\n  return fread(b, 1, 8, fp) == 8;\n}\n",
+       {}},
+      {"assigned fwrite ok in io", "src/io/w.cpp",
+       "void f(FILE* fp, const char* b) {\n"
+       "  const size_t n = fwrite(b, 1, 8, fp);\n  (void)n;\n}\n",
+       {}},
+      {"fread-like name ok in io", "src/io/r.cpp",
+       "void fread_all(int);\nvoid f() {\n  fread_all(3);\n}\n", {}},
+      {"bare fread outside io ok", "src/sim/s.cpp",
+       "void f(FILE* fp, char* b) {\n  fread(b, 1, 8, fp);\n}\n", {}},
+      {"suppressed fread ok in io", "src/io/r.cpp",
+       "void f(FILE* fp, char* b) {\n"
+       "  fread(b, 1, 8, fp);  // roarray-lint: allow(unchecked-io) probe\n"
+       "}\n",
        {}},
   };
 
