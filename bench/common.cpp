@@ -30,9 +30,11 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.strict_baselines = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       opts.threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--coarse-fine") == 0) {
+      opts.coarse_fine = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf("options: --locations N --packets P --seed S "
-                  "--strict-baselines --threads T\n");
+                  "--strict-baselines --threads T --coarse-fine\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
@@ -65,11 +67,13 @@ const char* system_name(System s) {
 
 bool estimate_direct_aoa(System system, const sim::ApMeasurement& m,
                          const dsp::ArrayConfig& array_cfg, double& aoa_deg,
-                         bool strict, const runtime::EstimateContext& ctx) {
+                         bool strict, const runtime::EstimateContext& ctx,
+                         bool coarse_fine) {
   switch (system) {
     case System::kRoArray: {
       core::RoArrayConfig cfg;
       cfg.solver.max_iterations = 300;
+      cfg.coarse_fine.enabled = coarse_fine;
       const core::RoArrayResult r =
           core::roarray_estimate(m.burst.csi, cfg, array_cfg, ctx);
       if (!r.valid) return false;
@@ -133,7 +137,8 @@ std::vector<SystemErrors> run_band(const sim::Testbed& testbed,
       for (const sim::ApMeasurement& m : ms) {
         double aoa = 0.0;
         if (!estimate_direct_aoa(systems[s], m, scfg.array, aoa,
-                                 opts.strict_baselines, ctx)) {
+                                 opts.strict_baselines, ctx,
+                                 opts.coarse_fine)) {
           continue;
         }
         per_loc[l][s].aoa_deg.push_back(

@@ -38,10 +38,15 @@ struct BenchOptions {
   /// thread count: every location draws from its own seeded RNG stream
   /// and per-location results are merged in location order.
   int threads = 0;
+  /// Route the ROArray solves through the coarse-to-fine factored
+  /// dictionary (RoArrayConfig::coarse_fine). Same grids, pruned
+  /// support: results agree with the full solve to grid resolution but
+  /// are not bit-identical to it.
+  bool coarse_fine = false;
 };
 
 /// Parses --locations N / --packets P / --seed S / --strict-baselines /
-/// --threads T; exits on bad input.
+/// --threads T / --coarse-fine; exits on bad input.
 [[nodiscard]] BenchOptions parse_options(int argc, char** argv);
 
 /// Thread pool + steering-operator cache shared across a bench run.
@@ -82,12 +87,14 @@ struct SystemErrors {
 /// Estimates the direct-path AoA with the given system. Returns false
 /// if the estimator produced nothing usable. `strict` selects the
 /// historical baseline configuration (see BenchOptions). `ctx` lets the
-/// ROArray path reuse a cached steering operator.
+/// ROArray path reuse a cached steering operator; `coarse_fine` routes
+/// it through the pruned factored-dictionary solve.
 [[nodiscard]] bool estimate_direct_aoa(System system,
                                        const sim::ApMeasurement& m,
                                        const dsp::ArrayConfig& array_cfg,
                                        double& aoa_deg, bool strict = false,
-                                       const runtime::EstimateContext& ctx = {});
+                                       const runtime::EstimateContext& ctx = {},
+                                       bool coarse_fine = false);
 
 /// Runs `systems` over every location at the given SNR band and collects
 /// localization + AoA errors. Each location uses its own deterministic

@@ -408,7 +408,8 @@ bool same_samples(const std::vector<bench::SystemErrors>& a,
 
 /// Returns false when the report could not be written (the CI smoke leg
 /// depends on the file existing, so a write failure must fail the run).
-[[nodiscard]] bool write_micro_report(const char* path) {
+/// `coarse_fine` adds the coarse_to_fine section (--coarse-fine flag).
+[[nodiscard]] bool write_micro_report(const char* path, bool coarse_fine) {
   using clock = std::chrono::steady_clock;
   const dsp::Grid aoa = dsp::default_aoa_grid();
   const dsp::Grid toa = dsp::default_toa_grid();
@@ -614,6 +615,54 @@ bool same_samples(const std::vector<bench::SystemErrors>& a,
   const bool cached_identical = same_samples(serial_percall, serial_cached);
   const bool parallel_identical = same_samples(serial_cached, parallel_cached);
 
+  // (4) Coarse-to-fine factored dictionary on the same fig6 workload,
+  // serial per-call — directly comparable to serial_percall_ms above.
+  // The pruned solve is not bit-identical to the full-grid solve, so
+  // agreement is tolerance-based: every error sample must sit within
+  // two fine-grid steps of its full-solve counterpart ("matches" flags;
+  // scripts/ci.sh fails the smoke leg if any comes out false).
+  double cf_percall_ms = 1e300, cf_cached_ms = 1e300;
+  bool cf_aoa_matches_full = false;
+  bool cf_count_matches_full = false;
+  double cf_max_aoa_dev_deg = 0.0;
+  if (coarse_fine) {
+    bench::BenchOptions cf_opts = opts;
+    cf_opts.coarse_fine = true;
+    std::vector<bench::SystemErrors> cf_percall, cf_cached;
+    for (int rep = 0; rep < 3; ++rep) {
+      t = clock::now();
+      cf_percall = bench::run_band(tb, clients, band, systems, cf_opts);
+      cf_percall_ms = std::min(cf_percall_ms, elapsed_ms(t));
+    }
+    bench::BenchOptions cf_serial_opts = cf_opts;
+    cf_serial_opts.threads = 1;
+    bench::BenchRuntime cf_rt(cf_serial_opts);
+    for (int rep = 0; rep < 3; ++rep) {
+      t = clock::now();
+      cf_cached =
+          bench::run_band(tb, clients, band, systems, cf_serial_opts, &cf_rt);
+      cf_cached_ms = std::min(cf_cached_ms, elapsed_ms(t));
+    }
+
+    // AoA error samples are angle_diff_deg against the same per-AP
+    // truth in the same deterministic order, so sample-by-sample
+    // deviation bounds how far the pruned solve moved each pick.
+    const double aoa_tol = 2.0 * dsp::default_aoa_grid().step();
+    cf_count_matches_full =
+        cf_percall.size() == serial_percall.size() &&
+        cf_percall.front().aoa_deg.size() ==
+            serial_percall.front().aoa_deg.size();
+    if (cf_count_matches_full) {
+      const auto& full_s = serial_percall.front().aoa_deg;
+      const auto& cf_s = cf_percall.front().aoa_deg;
+      for (std::size_t i = 0; i < full_s.size(); ++i) {
+        cf_max_aoa_dev_deg =
+            std::max(cf_max_aoa_dev_deg, std::abs(cf_s[i] - full_s[i]));
+      }
+      cf_aoa_matches_full = cf_max_aoa_dev_deg <= aoa_tol;
+    }
+  }
+
   const bool written = bench::write_json_report(path, [&](eval::JsonWriter& w) {
     w.begin_object();
     w.key("threads").value(par_opts.threads);
@@ -665,6 +714,19 @@ bool same_samples(const std::vector<bench::SystemErrors>& a,
     w.key("cached_identical_to_percall").value(cached_identical);
     w.key("parallel_identical_to_serial").value(parallel_identical);
     w.end_object();
+    if (coarse_fine) {
+      w.key("coarse_to_fine").begin_object();
+      w.key("serial_percall_ms").value(cf_percall_ms);
+      w.key("serial_cached_ms").value(cf_cached_ms);
+      w.key("speedup_vs_full_percall")
+          .value(e2e_percall_ms / std::max(cf_percall_ms, 1e-6));
+      w.key("cached_speedup_vs_full_cached")
+          .value(e2e_serial_cached_ms / std::max(cf_cached_ms, 1e-6));
+      w.key("max_aoa_sample_dev_deg").value(cf_max_aoa_dev_deg);
+      w.key("sample_count_matches_full").value(cf_count_matches_full);
+      w.key("aoa_matches_full").value(cf_aoa_matches_full);
+      w.end_object();
+    }
     w.end_object();
   });
   if (!written) return false;
@@ -680,18 +742,21 @@ int main(int argc, char** argv) {
   // benchmark flags follow); with no flags the google-benchmark suite
   // runs as before.
   const char* json_path = nullptr;
+  bool coarse_fine = false;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
                                                           : "BENCH_micro.json";
+    } else if (std::strcmp(argv[i], "--coarse-fine") == 0) {
+      coarse_fine = true;
     } else {
       rest.push_back(argv[i]);
     }
   }
   if (json_path != nullptr) {
-    if (!write_micro_report(json_path)) return 1;
+    if (!write_micro_report(json_path, coarse_fine)) return 1;
     if (rest.size() == 1) return 0;
   }
   int rest_argc = static_cast<int>(rest.size());

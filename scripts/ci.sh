@@ -239,10 +239,12 @@ ctest --preset default -j "${JOBS}"
 echo "== Bench smoke (BENCH_micro.json identity flags) =="
 # The JSON report checks every kernel fast path against its reference
 # inline (blocked vs naive GEMM, batched vs per-column Kronecker apply,
-# FISTA apply-reuse vs direct, cached vs per-call, parallel vs serial)
-# and records the verdicts as *_identical_* / *_matches_* flags. Any
-# false flag is a correctness regression, not a perf number — fail hard.
-./build/bench/micro_benchmarks --json build/BENCH_micro.json
+# FISTA apply-reuse vs direct, cached vs per-call, parallel vs serial,
+# and — with --coarse-fine — the coarse-to-fine factored solve vs the
+# full-grid reference) and records the verdicts as *_identical_* /
+# *_matches_* flags. Any false flag is a correctness regression, not a
+# perf number — fail hard.
+./build/bench/micro_benchmarks --coarse-fine --json build/BENCH_micro.json
 test -s build/BENCH_micro.json  # the binary exits non-zero on write failure
 if grep -nE '"[a-z0-9_]*(identical|matches)[a-z0-9_]*": *false' \
     build/BENCH_micro.json; then

@@ -6,13 +6,16 @@
 #include <optional>
 #include <stdexcept>
 
+#include "dsp/angles.hpp"
 #include "dsp/sanitize.hpp"
 #include "dsp/steering.hpp"
 #include "music/model_order.hpp"
 #include "runtime/operator_cache.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sparse/coarse_fine.hpp"
 #include "sparse/l1svd.hpp"
 #include "sparse/operator.hpp"
+#include "sparse/power.hpp"
 
 namespace roarray::core {
 
@@ -78,11 +81,16 @@ dsp::Spectrum2d coefficients_to_spectrum(const CMat& coeffs,
 namespace {
 
 /// Extracts paths from the spectrum and fills the result's path fields.
-void extract_paths(RoArrayResult& out, const RoArrayConfig& cfg) {
+/// aoa_wrap_period > 0 marks the AoA axis circular (the full [0, 180]
+/// grid at half-wavelength spacing aliases its endpoints — see
+/// dsp::aoa_wrap_period), so the peak min-separation window wraps.
+void extract_paths(RoArrayResult& out, const RoArrayConfig& cfg,
+                   index_t aoa_wrap_period) {
   const auto peaks = out.spectrum.find_peaks(cfg.max_paths,
                                              cfg.min_peak_rel_height,
                                              cfg.min_peak_sep_aoa,
-                                             cfg.min_peak_sep_toa);
+                                             cfg.min_peak_sep_toa,
+                                             aoa_wrap_period);
   for (const dsp::Peak& p : peaks) {
     PathEstimate e;
     e.aoa_deg = p.aoa_deg;
@@ -109,6 +117,93 @@ void extract_paths(RoArrayResult& out, const RoArrayConfig& cfg) {
     }
     out.valid = true;
   }
+}
+
+/// Result of the restricted (coarse-to-fine) solve, already scattered
+/// back onto the full grid.
+struct CoarseFineSolve {
+  CMat coefficients;  ///< full cols x snapshots, zeros off-support.
+  int iterations = 0;
+  bool converged = true;
+};
+
+/// The coarse-to-fine solve path: greedy candidate selection on the
+/// decimated-grid operator, then the convex solve restricted to the
+/// refined factored support (see sparse/coarse_fine.hpp and DESIGN.md
+/// "Coarse-to-fine factored dictionary"). `y` holds the solve input
+/// columns (the stacked snapshots, or the l1-SVD reduced ones).
+CoarseFineSolve solve_coarse_to_fine(const sparse::KroneckerOperator& op,
+                                     const CMat& y, const RoArrayConfig& cfg,
+                                     const dsp::ArrayConfig& array_cfg,
+                                     sparse::SolveConfig solver,
+                                     const runtime::EstimateContext& ctx,
+                                     const sparse::IterationCallback& callback) {
+  const sparse::CoarseFineConfig& cf = cfg.coarse_fine;
+  std::shared_ptr<const runtime::CachedOperator> coarse_cached;
+  std::optional<sparse::KroneckerOperator> coarse_local;
+  if (ctx.cache != nullptr) {
+    coarse_cached =
+        ctx.cache->get_coarse(cfg.aoa_grid, cfg.toa_grid, array_cfg, cf);
+  } else {
+    coarse_local.emplace(
+        dsp::steering_matrix_aoa(
+            sparse::decimate_grid(cfg.aoa_grid, cf.aoa_decimation), array_cfg),
+        dsp::steering_matrix_toa(
+            sparse::decimate_grid(cfg.toa_grid, cf.toa_decimation), array_cfg));
+  }
+  const sparse::KroneckerOperator& coarse_op =
+      coarse_cached ? coarse_cached->op : *coarse_local;
+
+  const sparse::FactoredSupport support = sparse::select_factored_support(
+      coarse_op, y, cfg.aoa_grid.size(), cfg.toa_grid.size(), cf);
+
+  CoarseFineSolve out;
+  if (support.empty()) {
+    // No correlated energy anywhere (all-zero measurement): the full
+    // solve would return all zeros too.
+    out.coefficients = CMat(op.cols(), y.cols());
+    return out;
+  }
+
+  const sparse::SupportOperator sub(op, support.aoa, support.toa);
+  // Cached / caller Lipschitz hints describe the FULL operator; the
+  // restricted one needs its own (tighter) constant. The restriction is
+  // itself a Kronecker product of the gathered factors, so lambda_max
+  // factorizes: ||L (x) R||^2 = ||L||^2 ||R||^2 — two deterministic
+  // power iterations on the tiny factor matrices instead of one on the
+  // joint operator, identical cached vs uncached.
+  solver.lipschitz_hint =
+      sparse::operator_norm_sq(sparse::DenseOperator(sub.sub().left())) *
+      sparse::operator_norm_sq(sparse::DenseOperator(sub.sub().right()));
+  if (cf.max_refine_iterations > 0) {
+    solver.max_iterations =
+        std::min(solver.max_iterations, cf.max_refine_iterations);
+  }
+  if (cf.refine_tolerance > 0.0) {
+    solver.tolerance = std::max(solver.tolerance, cf.refine_tolerance);
+  }
+
+  if (y.cols() == 1) {
+    sparse::IterationCallback cb;
+    if (callback) {
+      cb = [&callback, &sub](int it, const CVec& x) {
+        callback(it, sub.scatter(x));
+      };
+    }
+    const sparse::SolveResult sol =
+        sparse::solve_l1(sub, y.col_vec(0), solver, cb);
+    out.iterations = sol.iterations;
+    out.converged = sol.converged;
+    out.coefficients = CMat(op.cols(), 1);
+    out.coefficients.set_col(0, sub.scatter(sol.x));
+  } else {
+    const sparse::GroupSolveResult sol =
+        sparse::solve_group_l1(sub, y, solver, ctx.pool);
+    out.iterations = sol.iterations;
+    out.converged = sol.converged;
+    out.coefficients = sub.scatter(sol.x);
+  }
+  return out;
 }
 
 }  // namespace
@@ -162,11 +257,20 @@ RoArrayResult roarray_estimate(std::span<const CMat> packets,
 
   RoArrayResult out;
   if (packets.size() == 1) {
-    const sparse::SolveResult sol =
-        sparse::solve_l1(op, snapshots.col_vec(0), solver, callback);
-    out.solver_iterations = sol.iterations;
-    out.solver_converged = sol.converged;
-    out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
+    if (cfg.coarse_fine.enabled) {
+      const CoarseFineSolve sol = solve_coarse_to_fine(
+          op, snapshots, cfg, array_cfg, solver, ctx, callback);
+      out.solver_iterations = sol.iterations;
+      out.solver_converged = sol.converged;
+      out.spectrum = coefficients_to_spectrum(sol.coefficients.col_vec(0),
+                                              cfg.aoa_grid, cfg.toa_grid);
+    } else {
+      const sparse::SolveResult sol =
+          sparse::solve_l1(op, snapshots.col_vec(0), solver, callback);
+      out.solver_iterations = sol.iterations;
+      out.solver_converged = sol.converged;
+      out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
+    }
   } else {
     // Multi-packet fusion: l1-SVD reduction, then one row-sparse solve.
     sparse::SvdReduction red =
@@ -194,13 +298,22 @@ RoArrayResult roarray_estimate(std::span<const CMat> packets,
         red.rank_estimate = rank;
       }
     }
-    const sparse::GroupSolveResult sol =
-        sparse::solve_group_l1(op, red.reduced, solver, ctx.pool);
-    out.solver_iterations = sol.iterations;
-    out.solver_converged = sol.converged;
-    out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
+    if (cfg.coarse_fine.enabled) {
+      const CoarseFineSolve sol = solve_coarse_to_fine(
+          op, red.reduced, cfg, array_cfg, solver, ctx, nullptr);
+      out.solver_iterations = sol.iterations;
+      out.solver_converged = sol.converged;
+      out.spectrum =
+          coefficients_to_spectrum(sol.coefficients, cfg.aoa_grid, cfg.toa_grid);
+    } else {
+      const sparse::GroupSolveResult sol =
+          sparse::solve_group_l1(op, red.reduced, solver, ctx.pool);
+      out.solver_iterations = sol.iterations;
+      out.solver_converged = sol.converged;
+      out.spectrum = coefficients_to_spectrum(sol.x, cfg.aoa_grid, cfg.toa_grid);
+    }
   }
-  extract_paths(out, cfg);
+  extract_paths(out, cfg, dsp::aoa_wrap_period(cfg.aoa_grid, array_cfg));
   return out;
 }
 
@@ -213,6 +326,10 @@ std::vector<RoArrayResult> roarray_estimate_batch(
   // instead of stalling on the first-touch build.
   if (ctx.cache != nullptr) {
     (void)ctx.cache->get(cfg.aoa_grid, cfg.toa_grid, array_cfg);
+    if (cfg.coarse_fine.enabled) {
+      (void)ctx.cache->get_coarse(cfg.aoa_grid, cfg.toa_grid, array_cfg,
+                                  cfg.coarse_fine);
+    }
   }
   // Per-burst estimation is independent; slot i receives burst i's
   // result, so any thread count yields the serial output exactly.

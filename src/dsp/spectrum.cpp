@@ -6,6 +6,19 @@
 
 namespace roarray::dsp {
 
+namespace {
+
+/// Index separation between two samples, circular when period > 0
+/// (the fold-aliased AoA grid: its first and last sample are the same
+/// atom, so distance wraps around the period).
+index_t index_separation(index_t a, index_t b, index_t period) {
+  index_t d = std::abs(a - b);
+  if (period > 0) d = std::min(d, period - d);
+  return d;
+}
+
+}  // namespace
+
 void Spectrum1d::normalize() {
   double mx = 0.0;
   for (index_t i = 0; i < values.size(); ++i) mx = std::max(mx, values[i]);
@@ -15,7 +28,8 @@ void Spectrum1d::normalize() {
 
 std::vector<Peak> Spectrum1d::find_peaks(index_t max_peaks,
                                          double min_rel_height,
-                                         index_t min_separation) const {
+                                         index_t min_separation,
+                                         index_t wrap_period) const {
   std::vector<Peak> candidates;
   const index_t n = values.size();
   double mx = 0.0;
@@ -42,7 +56,8 @@ std::vector<Peak> Spectrum1d::find_peaks(index_t max_peaks,
   for (const Peak& c : candidates) {
     if (static_cast<index_t>(out.size()) >= max_peaks) break;
     const bool too_close = std::any_of(out.begin(), out.end(), [&](const Peak& o) {
-      return std::abs(o.aoa_index - c.aoa_index) < min_separation;
+      return index_separation(o.aoa_index, c.aoa_index, wrap_period) <
+             min_separation;
     });
     if (!too_close) out.push_back(c);
   }
@@ -59,7 +74,8 @@ void Spectrum2d::normalize() {
 std::vector<Peak> Spectrum2d::find_peaks(index_t max_peaks,
                                          double min_rel_height,
                                          index_t min_sep_aoa,
-                                         index_t min_sep_toa) const {
+                                         index_t min_sep_toa,
+                                         index_t aoa_wrap_period) const {
   std::vector<Peak> candidates;
   const index_t ni = values.rows();
   const index_t nj = values.cols();
@@ -104,7 +120,8 @@ std::vector<Peak> Spectrum2d::find_peaks(index_t max_peaks,
   for (const Peak& c : candidates) {
     if (static_cast<index_t>(out.size()) >= max_peaks) break;
     const bool too_close = std::any_of(out.begin(), out.end(), [&](const Peak& o) {
-      return std::abs(o.aoa_index - c.aoa_index) < min_sep_aoa &&
+      return index_separation(o.aoa_index, c.aoa_index, aoa_wrap_period) <
+                 min_sep_aoa &&
              std::abs(o.toa_index - c.toa_index) < min_sep_toa;
     });
     if (!too_close) out.push_back(c);

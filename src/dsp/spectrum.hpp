@@ -32,10 +32,14 @@ struct Spectrum1d {
 
   /// Local maxima above `min_rel_height` * max, separated by at least
   /// `min_separation` samples, sorted by descending power, at most
-  /// `max_peaks` of them.
+  /// `max_peaks` of them. A positive `wrap_period` declares the index
+  /// space circular with that period (see dsp::aoa_wrap_period): the
+  /// suppression distance between accepted peaks is then the circular
+  /// one, so peaks straddling the grid edge measure as close.
   [[nodiscard]] std::vector<Peak> find_peaks(index_t max_peaks,
                                              double min_rel_height = 0.05,
-                                             index_t min_separation = 1) const;
+                                             index_t min_separation = 1,
+                                             index_t wrap_period = 0) const;
 };
 
 /// A 2-D power spectrum over (AoA, ToA), values(i, j) at
@@ -50,10 +54,16 @@ struct Spectrum2d {
   /// 8-neighborhood local maxima above `min_rel_height` * max, sorted by
   /// descending power, greedily suppressing peaks within
   /// `min_sep_aoa`/`min_sep_toa` samples of an already accepted one.
+  /// A positive `aoa_wrap_period` makes the AoA suppression distance
+  /// circular with that period (the full [0, 180] grid at exact
+  /// half-wavelength spacing aliases its endpoints; see
+  /// dsp::aoa_wrap_period), so peaks straddling the fold boundary are
+  /// correctly recognized as near-duplicates.
   [[nodiscard]] std::vector<Peak> find_peaks(index_t max_peaks,
                                              double min_rel_height = 0.05,
                                              index_t min_sep_aoa = 1,
-                                             index_t min_sep_toa = 1) const;
+                                             index_t min_sep_toa = 1,
+                                             index_t aoa_wrap_period = 0) const;
 
   /// Marginalizes over ToA (max over tau) to obtain an AoA spectrum.
   [[nodiscard]] Spectrum1d aoa_marginal() const;

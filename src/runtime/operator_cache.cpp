@@ -50,6 +50,14 @@ std::shared_ptr<const CachedOperator> OperatorCache::get(
   return entry;
 }
 
+std::shared_ptr<const CachedOperator> OperatorCache::get_coarse(
+    const dsp::Grid& fine_aoa_grid, const dsp::Grid& fine_toa_grid,
+    const dsp::ArrayConfig& array_cfg, const sparse::CoarseFineConfig& cf) {
+  return get(sparse::decimate_grid(fine_aoa_grid, cf.aoa_decimation),
+             sparse::decimate_grid(fine_toa_grid, cf.toa_decimation),
+             array_cfg);
+}
+
 std::size_t OperatorCache::size() const {
   MutexLock lk(mutex_);
   return entries_.size();

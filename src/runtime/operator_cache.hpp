@@ -18,6 +18,7 @@
 #include "dsp/constants.hpp"
 #include "dsp/grid.hpp"
 #include "runtime/thread_annotations.hpp"
+#include "sparse/coarse_fine.hpp"
 #include "sparse/operator.hpp"
 
 namespace roarray::runtime {
@@ -78,6 +79,17 @@ class OperatorCache {
   [[nodiscard]] std::shared_ptr<const CachedOperator> get(
       const dsp::Grid& aoa_grid, const dsp::Grid& toa_grid,
       const dsp::ArrayConfig& array_cfg) ROARRAY_EXCLUDES(mutex_);
+
+  /// Entry for the decimated (coarse) companion of the fine grids, as
+  /// used by the coarse-to-fine solve path. Just a convenience over
+  /// get() on sparse::decimate_grid'ed grids — coarse entries share
+  /// the same memo, so repeated estimates with the same
+  /// CoarseFineConfig reuse one coarse operator and its power
+  /// iteration.
+  [[nodiscard]] std::shared_ptr<const CachedOperator> get_coarse(
+      const dsp::Grid& fine_aoa_grid, const dsp::Grid& fine_toa_grid,
+      const dsp::ArrayConfig& array_cfg,
+      const sparse::CoarseFineConfig& cf) ROARRAY_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t size() const ROARRAY_EXCLUDES(mutex_);
   void clear() ROARRAY_EXCLUDES(mutex_);

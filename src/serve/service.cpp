@@ -114,8 +114,13 @@ bool LocalizationService::batch_ready_locked(bool force) const {
       cfg_.batch_linger_ticks == 0) {
     return true;
   }
+  // Boundary convention (shared with the deadline checks below and in
+  // take_batch_locked): a window of W ticks is over strictly after tick
+  // submit + W, so a batch formed at exactly submit + W still lingers
+  // and a request processed at exactly submit + deadline completes
+  // normally.
   const Tick oldest = queue_.front().req.submit_tick;
-  if (now_ >= oldest + cfg_.batch_linger_ticks) return true;
+  if (now_ > oldest + cfg_.batch_linger_ticks) return true;
   // An expired request at the front must be dropped promptly even while
   // the linger window is still open.
   return cfg_.deadline_ticks > 0 && now_ > oldest + cfg_.deadline_ticks;
@@ -143,65 +148,80 @@ bool LocalizationService::take_batch_locked(bool force,
 
 void LocalizationService::process_batch(std::vector<Pending> batch,
                                         std::vector<Pending> expired) {
-  // Per-AP fusion weights must come from the packets before the bursts
-  // are moved into the flattened estimator input.
-  std::vector<std::vector<double>> weights(batch.size());
-  std::vector<core::CsiBurst> bursts;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    Request& req = batch[i].req;
-    weights[i].reserve(req.aps.size());
-    for (ApSubmission& ap : req.aps) {
-      weights[i].push_back(channel::burst_rssi_weight(ap.packets));
-      bursts.push_back(std::move(ap.packets));
-    }
-  }
-  std::vector<core::RoArrayResult> results;
-  if (!bursts.empty()) {
-    results = core::roarray_estimate_batch(bursts, cfg_.estimator, cfg_.array,
-                                           ctx_);
-  }
+  // take_batch_locked already counted these requests into in_flight_;
+  // if anything below throws before the stats block settles them, the
+  // count must still come back down or drain()/stop() wedge forever
+  // waiting for quiescence.
+  auto settle_in_flight_on_error = [this, n = batch.size() + expired.size()] {
+    runtime::MutexLock lk(mutex_);
+    in_flight_ -= n;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  };
 
   std::vector<Response> responses;
-  responses.reserve(batch.size() + expired.size());
-  std::size_t burst_index = 0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Pending& p = batch[i];
-    Response r;
-    r.request_id = p.request_id;
-    r.client_id = p.req.client_id;
-    r.submit_tick = p.req.submit_tick;
-    std::vector<loc::ApObservation> observations;
-    r.ap_estimates.reserve(p.req.aps.size());
-    for (std::size_t j = 0; j < p.req.aps.size(); ++j) {
-      const core::RoArrayResult& est = results[burst_index++];
-      ApEstimate ae;
-      ae.ap_id = p.req.aps[j].ap_id;
-      ae.valid = est.valid;
-      ae.weight = weights[i][j];
-      if (est.valid) {
-        ae.aoa_deg = est.direct.aoa_deg;
-        ae.toa_s = est.direct.toa_s;
-        ae.power = est.direct.power;
-        observations.push_back({cfg_.ap_poses[ae.ap_id], ae.aoa_deg,
-                                ae.weight});
+  try {
+    // Per-AP fusion weights must come from the packets before the bursts
+    // are moved into the flattened estimator input.
+    std::vector<std::vector<double>> weights(batch.size());
+    std::vector<core::CsiBurst> bursts;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Request& req = batch[i].req;
+      weights[i].reserve(req.aps.size());
+      for (ApSubmission& ap : req.aps) {
+        weights[i].push_back(channel::burst_rssi_weight(ap.packets));
+        bursts.push_back(std::move(ap.packets));
       }
-      r.ap_estimates.push_back(ae);
     }
-    if (observations.empty()) {
-      r.status = ResponseStatus::kNoObservations;
-    } else {
-      r.status = ResponseStatus::kOk;
-      r.location = loc::localize(observations, cfg_.localize, ctx_.pool);
+    std::vector<core::RoArrayResult> results;
+    if (!bursts.empty()) {
+      results = core::roarray_estimate_batch(bursts, cfg_.estimator, cfg_.array,
+                                             ctx_);
     }
-    responses.push_back(std::move(r));
-  }
-  for (const Pending& p : expired) {
-    Response r;
-    r.request_id = p.request_id;
-    r.client_id = p.req.client_id;
-    r.submit_tick = p.req.submit_tick;
-    r.status = ResponseStatus::kDeadlineExpired;
-    responses.push_back(std::move(r));
+
+    responses.reserve(batch.size() + expired.size());
+    std::size_t burst_index = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Pending& p = batch[i];
+      Response r;
+      r.request_id = p.request_id;
+      r.client_id = p.req.client_id;
+      r.submit_tick = p.req.submit_tick;
+      std::vector<loc::ApObservation> observations;
+      r.ap_estimates.reserve(p.req.aps.size());
+      for (std::size_t j = 0; j < p.req.aps.size(); ++j) {
+        const core::RoArrayResult& est = results[burst_index++];
+        ApEstimate ae;
+        ae.ap_id = p.req.aps[j].ap_id;
+        ae.valid = est.valid;
+        ae.weight = weights[i][j];
+        if (est.valid) {
+          ae.aoa_deg = est.direct.aoa_deg;
+          ae.toa_s = est.direct.toa_s;
+          ae.power = est.direct.power;
+          observations.push_back({cfg_.ap_poses[ae.ap_id], ae.aoa_deg,
+                                  ae.weight});
+        }
+        r.ap_estimates.push_back(ae);
+      }
+      if (observations.empty()) {
+        r.status = ResponseStatus::kNoObservations;
+      } else {
+        r.status = ResponseStatus::kOk;
+        r.location = loc::localize(observations, cfg_.localize, ctx_.pool);
+      }
+      responses.push_back(std::move(r));
+    }
+    for (const Pending& p : expired) {
+      Response r;
+      r.request_id = p.request_id;
+      r.client_id = p.req.client_id;
+      r.submit_tick = p.req.submit_tick;
+      r.status = ResponseStatus::kDeadlineExpired;
+      responses.push_back(std::move(r));
+    }
+  } catch (...) {
+    settle_in_flight_on_error();
+    throw;
   }
 
   {
@@ -234,10 +254,24 @@ void LocalizationService::process_batch(std::vector<Pending> batch,
     if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
   }
 
+  // Callbacks run outside the lock and are user code: a throwing one
+  // must not rob its siblings of their completion (every accepted
+  // request gets its callback invoked) or escape into a dispatcher
+  // thread (std::terminate). Exceptions are swallowed and counted.
+  std::uint64_t callback_exceptions = 0;
   for (std::size_t i = 0; i < responses.size(); ++i) {
     const ResponseCallback& cb =
         i < batch.size() ? batch[i].on_done : expired[i - batch.size()].on_done;
-    if (cb) cb(responses[i]);
+    if (!cb) continue;
+    try {
+      cb(responses[i]);
+    } catch (...) {
+      ++callback_exceptions;
+    }
+  }
+  if (callback_exceptions > 0) {
+    runtime::MutexLock lk(mutex_);
+    stats_.callback_exceptions += callback_exceptions;
   }
 }
 

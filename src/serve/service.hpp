@@ -55,13 +55,17 @@ struct ServeConfig {
   /// Admission bound: submissions beyond this many queued requests are
   /// rejected with SubmitStatus::kQueueFull.
   index_t queue_capacity = 64;
-  /// How long a non-full batch may wait for company before dispatch:
-  /// a batch is ready once it is full, or once now >= the oldest
-  /// member's submit_tick + batch_linger_ticks. 0 = dispatch greedily.
+  /// How long a non-full batch may wait for company before dispatch.
+  /// Boundary convention (shared with deadline_ticks): a window of W
+  /// ticks is over strictly after tick submit + W, so a batch is ready
+  /// once it is full, or once now > the oldest member's submit_tick +
+  /// batch_linger_ticks. 0 = dispatch greedily.
   Tick batch_linger_ticks = 0;
-  /// Requests older than this at batch-formation time are completed
-  /// with ResponseStatus::kDeadlineExpired instead of being estimated
-  /// (never silently dropped). 0 disables deadlines.
+  /// Requests whose window has closed (now > submit_tick +
+  /// deadline_ticks) at batch-formation time are completed with
+  /// ResponseStatus::kDeadlineExpired instead of being estimated (never
+  /// silently dropped); a request processed at exactly submit_tick +
+  /// deadline_ticks completes normally. 0 disables deadlines.
   Tick deadline_ticks = 0;
   /// Dispatcher threads pulling batches off the queue. 0 = no threads;
   /// the caller drives processing with pump() / drain() (deterministic
@@ -129,7 +133,10 @@ struct Response {
 
 /// Invoked exactly once per accepted request, after processing, outside
 /// every service lock (re-entrant submit/advance_time from a callback
-/// is allowed). May be empty.
+/// is allowed). May be empty. A thrown exception does not propagate:
+/// the service swallows it (counted in ServiceStats::callback_exceptions)
+/// so sibling callbacks in the batch still run and dispatcher threads
+/// survive.
 using ResponseCallback = std::function<void(const Response&)>;
 
 /// Monotonic service counters. Snapshot via LocalizationService::stats.
@@ -142,6 +149,9 @@ struct ServiceStats {
   std::uint64_t completed_ok = 0;
   std::uint64_t completed_no_observations = 0;
   std::uint64_t batches = 0;
+  /// Response callbacks that threw (the exceptions are swallowed so the
+  /// rest of the batch completes; see ResponseCallback).
+  std::uint64_t callback_exceptions = 0;
   /// batch_size_hist[k] = batches dispatched with k+1 requests.
   std::vector<std::uint64_t> batch_size_hist;
   /// Per-completed-request done_tick - submit_tick (excludes deadline

@@ -1,0 +1,142 @@
+#include "sparse/coarse_fine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <string>
+
+#include "sparse/omp.hpp"
+
+namespace roarray::sparse {
+
+namespace {
+
+/// Number of points in the decimated companion of an n-point grid.
+index_t decimated_size(index_t n, index_t decimation) {
+  return (n - 1) / decimation + 1;
+}
+
+/// Unions [center - radius, center + radius + hi_extend] (clamped to
+/// [0, n)) into the per-cell mask. hi_extend covers the fine-grid tail
+/// past the last coarse sample when the decimation does not divide the
+/// point count evenly.
+void mark_window(std::vector<char>& mask, index_t center, index_t radius,
+                 index_t hi_extend) {
+  const auto n = static_cast<index_t>(mask.size());
+  const index_t lo = std::max<index_t>(0, center - radius);
+  const index_t hi = std::min<index_t>(n - 1, center + radius + hi_extend);
+  for (index_t i = lo; i <= hi; ++i) mask[static_cast<std::size_t>(i)] = 1;
+}
+
+std::vector<index_t> mask_to_indices(const std::vector<char>& mask) {
+  std::vector<index_t> out;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) out.push_back(static_cast<index_t>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+void CoarseFineConfig::validate() const {
+  if (aoa_decimation < 1 || toa_decimation < 1) {
+    throw std::invalid_argument(
+        "CoarseFineConfig: decimation factors must be >= 1");
+  }
+  if (max_candidates < 1) {
+    throw std::invalid_argument(
+        "CoarseFineConfig: max_candidates must be >= 1");
+  }
+  if (coarse_residual_tolerance < 0.0) {
+    throw std::invalid_argument(
+        "CoarseFineConfig: coarse_residual_tolerance must be >= 0");
+  }
+  if (min_rel_gain < 0.0 || min_rel_gain >= 1.0) {
+    throw std::invalid_argument(
+        "CoarseFineConfig: min_rel_gain must lie in [0, 1)");
+  }
+  if (refine_tolerance >= 1.0) {
+    throw std::invalid_argument(
+        "CoarseFineConfig: refine_tolerance must be < 1");
+  }
+}
+
+dsp::Grid decimate_grid(const dsp::Grid& fine, index_t decimation) {
+  if (decimation < 1) {
+    throw std::invalid_argument("decimate_grid: decimation must be >= 1");
+  }
+  const index_t nc = decimated_size(fine.size(), decimation);
+  if (nc == fine.size()) return fine;
+  // Coarse points are fine points: same lo, every decimation-th sample.
+  return dsp::Grid(fine.lo(),
+                   fine.lo() + static_cast<double>((nc - 1) * decimation) *
+                                   fine.step(),
+                   nc);
+}
+
+FactoredSupport select_factored_support(const KroneckerOperator& coarse_op,
+                                        const CMat& snapshots,
+                                        index_t fine_aoa_n, index_t fine_toa_n,
+                                        const CoarseFineConfig& cfg) {
+  cfg.validate();
+  if (fine_aoa_n < 1 || fine_toa_n < 1) {
+    throw std::invalid_argument(
+        "select_factored_support: fine grid sizes must be >= 1");
+  }
+  const index_t nc_aoa = decimated_size(fine_aoa_n, cfg.aoa_decimation);
+  const index_t nc_toa = decimated_size(fine_toa_n, cfg.toa_decimation);
+  if (coarse_op.left().cols() != nc_aoa || coarse_op.right().cols() != nc_toa) {
+    throw std::invalid_argument(
+        "select_factored_support: coarse operator columns (" +
+        std::to_string(coarse_op.left().cols()) + " x " +
+        std::to_string(coarse_op.right().cols()) +
+        ") do not match the decimated fine grids (" + std::to_string(nc_aoa) +
+        " x " + std::to_string(nc_toa) + ")");
+  }
+  if (snapshots.rows() != coarse_op.rows()) {
+    throw std::invalid_argument(
+        "select_factored_support: snapshot rows do not match the operator");
+  }
+
+  const index_t aoa_radius = cfg.aoa_refine_radius >= 0
+                                 ? cfg.aoa_refine_radius
+                                 : cfg.aoa_decimation / 2 + 1;
+  const index_t toa_radius = cfg.toa_refine_radius >= 0
+                                 ? cfg.toa_refine_radius
+                                 : cfg.toa_decimation / 2;
+
+  std::vector<char> aoa_mask(static_cast<std::size_t>(fine_aoa_n), 0);
+  std::vector<char> toa_mask(static_cast<std::size_t>(fine_toa_n), 0);
+
+  OmpConfig omp;
+  omp.max_atoms = cfg.max_candidates;
+  omp.residual_tolerance = cfg.coarse_residual_tolerance;
+
+  CVec y(snapshots.rows());
+  for (index_t k = 0; k < snapshots.cols(); ++k) {
+    for (index_t r = 0; r < snapshots.rows(); ++r) y[r] = snapshots(r, k);
+    const OmpResult picked = solve_omp(coarse_op, y, omp);
+    double strongest = 0.0;
+    for (const index_t atom : picked.support) {
+      strongest = std::max(strongest, std::abs(picked.x[atom]));
+    }
+    const double gain_floor = cfg.min_rel_gain * strongest;
+    for (const index_t atom : picked.support) {
+      if (std::abs(picked.x[atom]) < gain_floor) continue;  // noise pick
+      const index_t ci = atom % nc_aoa;  // coarse AoA index (AoA-fastest)
+      const index_t cj = atom / nc_aoa;  // coarse ToA index
+      mark_window(aoa_mask, ci * cfg.aoa_decimation, aoa_radius,
+                  ci == nc_aoa - 1 ? cfg.aoa_decimation : 0);
+      mark_window(toa_mask, cj * cfg.toa_decimation, toa_radius,
+                  cj == nc_toa - 1 ? cfg.toa_decimation : 0);
+    }
+  }
+
+  FactoredSupport support;
+  support.aoa = mask_to_indices(aoa_mask);
+  support.toa = mask_to_indices(toa_mask);
+  return support;
+}
+
+}  // namespace roarray::sparse

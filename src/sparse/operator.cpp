@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/gemm.hpp"
 #include "runtime/thread_pool.hpp"
@@ -242,6 +243,81 @@ CMat KroneckerOperator::row_gram() const {
     }
   }
   return g;
+}
+
+namespace {
+
+/// Gathers the given columns of src into a new matrix, validating the
+/// support is non-empty, strictly increasing, and in range.
+CMat gather_columns(const CMat& src, const std::vector<index_t>& support,
+                    const char* what) {
+  if (support.empty()) {
+    throw std::invalid_argument(std::string("SupportOperator: empty ") + what);
+  }
+  index_t prev = -1;
+  for (const index_t idx : support) {
+    if (idx <= prev || idx >= src.cols()) {
+      throw std::invalid_argument(
+          std::string("SupportOperator: ") + what +
+          " must be strictly increasing and within the factor columns");
+    }
+    prev = idx;
+  }
+  CMat out(src.rows(), static_cast<index_t>(support.size()));
+  for (index_t j = 0; j < out.cols(); ++j) {
+    std::memcpy(out.data() + j * out.rows(),
+                src.data() + support[static_cast<std::size_t>(j)] * src.rows(),
+                static_cast<std::size_t>(src.rows()) * sizeof(cxd));
+  }
+  return out;
+}
+
+}  // namespace
+
+SupportOperator::SupportOperator(const KroneckerOperator& full,
+                                 std::vector<index_t> left_support,
+                                 std::vector<index_t> right_support)
+    : left_support_(std::move(left_support)),
+      right_support_(std::move(right_support)),
+      full_left_cols_(full.left().cols()),
+      full_cols_(full.cols()),
+      sub_(gather_columns(full.left(), left_support_, "left support"),
+           gather_columns(full.right(), right_support_, "right support")) {}
+
+index_t SupportOperator::full_index(index_t local) const {
+  const auto ni = static_cast<index_t>(left_support_.size());
+  if (local < 0 || local >= cols()) {
+    throw std::out_of_range("SupportOperator::full_index");
+  }
+  const index_t a = local % ni;
+  const index_t b = local / ni;
+  return right_support_[static_cast<std::size_t>(b)] * full_left_cols_ +
+         left_support_[static_cast<std::size_t>(a)];
+}
+
+CVec SupportOperator::scatter(const CVec& x_restricted) const {
+  if (x_restricted.size() != cols()) {
+    throw std::invalid_argument("SupportOperator::scatter: size");
+  }
+  CVec full(full_cols_);
+  for (index_t local = 0; local < cols(); ++local) {
+    full[full_index(local)] = x_restricted[local];
+  }
+  return full;
+}
+
+CMat SupportOperator::scatter(const CMat& x_restricted) const {
+  if (x_restricted.rows() != cols()) {
+    throw std::invalid_argument("SupportOperator::scatter: rows");
+  }
+  CMat full(full_cols_, x_restricted.cols());
+  for (index_t local = 0; local < cols(); ++local) {
+    const index_t fi = full_index(local);
+    for (index_t k = 0; k < x_restricted.cols(); ++k) {
+      full(fi, k) = x_restricted(local, k);
+    }
+  }
+  return full;
 }
 
 CMat KroneckerOperator::to_dense() const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
@@ -173,6 +174,75 @@ class KroneckerOperator final : public LinearOperator {
   CMat left_adj_;    // left^H (N_l x M), precomputed for the adjoint
   CMat right_t_;     // right^T (N_r x L), precomputed for the forward
   CMat right_conj_;  // conj(right) (L x N_r), precomputed for the adjoint
+};
+
+/// Restriction of a Kronecker operator to a factored (Cartesian)
+/// column support: keep AoA columns I = left_support and ToA columns
+/// J = right_support, i.e. the full columns {j * N_l + i : i in I,
+/// j in J}. Because the support factors per dimension, the restricted
+/// dictionary is itself a Kronecker product of the gathered factor
+/// columns — so the sub-operator keeps the batched three-GEMM fast
+/// path of KroneckerOperator, with per-application cost scaling in
+/// |I| and |J| instead of N_l and N_r. This is the solve stage of the
+/// coarse-to-fine path (sparse/coarse_fine.hpp): FISTA / ADMM /
+/// group solvers run on it unchanged, and scatter() embeds the
+/// restricted solution back into full-grid coordinates.
+class SupportOperator final : public LinearOperator {
+ public:
+  /// Both supports must be non-empty, strictly increasing, and within
+  /// the source factor's column range (throws std::invalid_argument
+  /// otherwise). The gathered factor columns are copied, so the source
+  /// operator may be destroyed afterwards.
+  SupportOperator(const KroneckerOperator& full,
+                  std::vector<index_t> left_support,
+                  std::vector<index_t> right_support);
+
+  [[nodiscard]] index_t rows() const noexcept override { return sub_.rows(); }
+  [[nodiscard]] index_t cols() const noexcept override { return sub_.cols(); }
+  [[nodiscard]] CVec apply(const CVec& x) const override {
+    return sub_.apply(x);
+  }
+  [[nodiscard]] CVec apply_adjoint(const CVec& y) const override {
+    return sub_.apply_adjoint(y);
+  }
+  void apply_mat_into(const CMat& x, CMat& y,
+                      const runtime::ThreadPool* pool) const override {
+    sub_.apply_mat_into(x, y, pool);
+  }
+  void apply_adjoint_mat_into(const CMat& y, CMat& x,
+                              const runtime::ThreadPool* pool) const override {
+    sub_.apply_adjoint_mat_into(y, x, pool);
+  }
+  [[nodiscard]] CMat row_gram() const override { return sub_.row_gram(); }
+
+  [[nodiscard]] const std::vector<index_t>& left_support() const noexcept {
+    return left_support_;
+  }
+  [[nodiscard]] const std::vector<index_t>& right_support() const noexcept {
+    return right_support_;
+  }
+  /// Column count of the full (unrestricted) operator.
+  [[nodiscard]] index_t full_cols() const noexcept { return full_cols_; }
+
+  /// Full-grid column index of restricted unknown `local`
+  /// (local = b * |I| + a maps to right_support[b] * N_l +
+  /// left_support[a], preserving the AoA-fastest layout).
+  [[nodiscard]] index_t full_index(index_t local) const;
+
+  /// Embeds a restricted solution into full-grid coordinates (zeros
+  /// off-support). Matrix overload scatters every snapshot column.
+  [[nodiscard]] CVec scatter(const CVec& x_restricted) const;
+  [[nodiscard]] CMat scatter(const CMat& x_restricted) const;
+
+  /// The inner restricted Kronecker operator (tests / diagnostics).
+  [[nodiscard]] const KroneckerOperator& sub() const noexcept { return sub_; }
+
+ private:
+  std::vector<index_t> left_support_;
+  std::vector<index_t> right_support_;
+  index_t full_left_cols_ = 0;
+  index_t full_cols_ = 0;
+  KroneckerOperator sub_;
 };
 
 }  // namespace roarray::sparse

@@ -165,6 +165,56 @@ TEST(RoArray, InsensitiveToModelOrder) {
   EXPECT_NEAR(r4.direct.aoa_deg, 60.0, 6.0);
 }
 
+TEST(RoArray, CoarseToFineAgreesWithFullGridSolve) {
+  // The pruned factored-dictionary path must land on the same direct
+  // path as the full-grid solve, to within grid resolution. Exercised
+  // both single-packet (solve_l1) and multi-packet (group solve).
+  const std::vector<Path> paths = {
+      make_path(105.0, 70e-9, cxd{1.0, 0.0}),
+      make_path(48.0, 260e-9, cxd{0.5, 0.2}),
+  };
+  for (linalg::index_t packets : {linalg::index_t{1}, linalg::index_t{4}}) {
+    const auto burst = noisy_packets(paths, 22.0, packets, 310 + packets);
+    RoArrayConfig full;
+    const RoArrayResult ref = roarray_estimate(burst, full, kArray);
+    ASSERT_TRUE(ref.valid);
+
+    RoArrayConfig cf = full;
+    cf.coarse_fine.enabled = true;
+    const RoArrayResult fast = roarray_estimate(burst, cf, kArray);
+    ASSERT_TRUE(fast.valid) << "packets " << packets;
+    EXPECT_NEAR(fast.direct.aoa_deg, ref.direct.aoa_deg,
+                2.0 * full.aoa_grid.step())
+        << "packets " << packets;
+    EXPECT_NEAR(fast.direct.toa_s, ref.direct.toa_s,
+                2.0 * full.toa_grid.step())
+        << "packets " << packets;
+  }
+}
+
+TEST(RoArray, CoarseToFineHonorsIterationCallbackInFullCoordinates) {
+  // Callback vectors from the restricted solve are scattered back to
+  // the full grid so observers see consistent coefficient shapes.
+  const auto packets =
+      noisy_packets({make_path(130.0, 70e-9, cxd{1.0, 0.0})}, 20.0, 1, 311);
+  RoArrayConfig cfg;
+  cfg.coarse_fine.enabled = true;
+  cfg.solver.max_iterations = 10;
+  cfg.solver.tolerance = 0.0;
+  const linalg::index_t full_cols =
+      cfg.aoa_grid.size() * cfg.toa_grid.size();
+  int calls = 0;
+  bool shapes_ok = true;
+  const RoArrayResult r = roarray_estimate(
+      packets, cfg, kArray, [&](int, const linalg::CVec& x) {
+        ++calls;
+        shapes_ok = shapes_ok && x.size() == full_cols;
+      });
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(calls, 10);
+  EXPECT_TRUE(shapes_ok);
+}
+
 TEST(RoArray, SanitizePlacesDirectNearRebias) {
   const auto packets =
       noisy_packets({make_path(75.0, 40e-9, cxd{1.0, 0.0})}, 25.0, 1, 306);

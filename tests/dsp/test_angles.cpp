@@ -124,6 +124,37 @@ TEST(Angles, SteeringMirrorAmbiguityMatchesFolding) {
   }
 }
 
+TEST(Angles, FoldedAoaSeparationWrapsAcrossTheEndfireAlias) {
+  // 2 deg and 178 deg straddle the fold: physically 4 deg apart at
+  // half-wavelength spacing (a(0) == a(180)), not 176.
+  EXPECT_DOUBLE_EQ(folded_aoa_separation_deg(2.0, 178.0), 4.0);
+  EXPECT_DOUBLE_EQ(folded_aoa_separation_deg(178.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(folded_aoa_separation_deg(0.0, 180.0), 0.0);
+  // Interior angles keep the plain difference.
+  EXPECT_DOUBLE_EQ(folded_aoa_separation_deg(80.0, 96.0), 16.0);
+  EXPECT_DOUBLE_EQ(folded_aoa_separation_deg(45.0, 135.0), 90.0);
+  // Inputs outside [0, 180] are folded first: -2 mirrors to 2.
+  EXPECT_DOUBLE_EQ(folded_aoa_separation_deg(-2.0, 178.0), 4.0);
+  EXPECT_DOUBLE_EQ(folded_aoa_separation_deg(182.0, 2.0), 4.0);
+}
+
+TEST(Angles, AoaWrapPeriodDetectsTheCircularGrid) {
+  const ArrayConfig half_wavelength;  // d / lambda == 0.5 exactly
+  ASSERT_DOUBLE_EQ(half_wavelength.spacing_over_wavelength(), 0.5);
+  // Full [0, 180] grid at lambda/2: endpoints alias, period = n - 1.
+  EXPECT_EQ(aoa_wrap_period(Grid(0.0, 180.0, 91), half_wavelength), 90);
+  EXPECT_EQ(aoa_wrap_period(Grid(0.0, 180.0, 61), half_wavelength), 60);
+  // Partial grids are not circular.
+  EXPECT_EQ(aoa_wrap_period(Grid(0.0, 170.0, 18), half_wavelength), 0);
+  EXPECT_EQ(aoa_wrap_period(Grid(10.0, 180.0, 18), half_wavelength), 0);
+  // Sub-half-wavelength spacing: a(0) != a(180), endpoints distinct.
+  ArrayConfig narrow = half_wavelength;
+  narrow.antenna_spacing_m = 0.4 * narrow.wavelength_m;
+  EXPECT_EQ(aoa_wrap_period(Grid(0.0, 180.0, 91), narrow), 0);
+  // Degenerate grids never wrap.
+  EXPECT_EQ(aoa_wrap_period(Grid(0.0, 180.0, 2), half_wavelength), 0);
+}
+
 class AngleDiffProperty : public ::testing::TestWithParam<double> {};
 
 TEST_P(AngleDiffProperty, InvariantUnderFullTurns) {

@@ -119,6 +119,48 @@ TEST(Spectrum2d, AoaMarginalTakesMaxOverToa) {
   EXPECT_DOUBLE_EQ(m.values[2], 1.0);
 }
 
+TEST(Spectrum1d, WrapPeriodMakesSuppressionCircular) {
+  // Peaks at the first and last sample of a circular grid are the same
+  // physical atom (the fold-aliased [0, 180] AoA grid): with the wrap
+  // period declared, the weaker edge peak must be suppressed.
+  // Regression: separation used to be plain |index difference|, so the
+  // edges measured as maximally far apart and both peaks survived.
+  const Spectrum1d s = make_1d({1.0, 0.2, 0.1, 0.2, 0.9});
+  const auto unwrapped = s.find_peaks(5, 0.05, /*min_separation=*/2);
+  EXPECT_EQ(unwrapped.size(), 2u);
+  const auto wrapped =
+      s.find_peaks(5, 0.05, /*min_separation=*/2, /*wrap_period=*/4);
+  ASSERT_EQ(wrapped.size(), 1u);
+  EXPECT_EQ(wrapped[0].aoa_index, 0);
+}
+
+TEST(Spectrum2d, AoaWrapPeriodSuppressesPeaksStraddlingTheFoldBoundary) {
+  // 2-deg spacing over [0, 180]: indices 1 (2 deg) and 89 (178 deg) are
+  // 4 deg apart through the fold, well inside a 5-sample window, yet 88
+  // samples apart by plain index distance. Regression: without the wrap
+  // period both used to be kept.
+  Spectrum2d s;
+  s.aoa_grid = Grid(0.0, 180.0, 91);
+  s.toa_grid = Grid(0.0, 900e-9, 10);
+  s.values = RMat(91, 10);
+  s.values(1, 4) = 1.0;
+  s.values(89, 4) = 0.8;
+  const auto unwrapped = s.find_peaks(5, 0.05, /*min_sep_aoa=*/5, 1);
+  EXPECT_EQ(unwrapped.size(), 2u);
+  const auto wrapped =
+      s.find_peaks(5, 0.05, /*min_sep_aoa=*/5, 1, /*aoa_wrap_period=*/90);
+  ASSERT_EQ(wrapped.size(), 1u);
+  EXPECT_EQ(wrapped[0].aoa_index, 1);
+
+  // The ToA window still gates jointly: same edge-straddling AoAs at
+  // far-apart ToAs are distinct paths and both survive.
+  s.values(89, 4) = 0.0;
+  s.values(89, 9) = 0.8;
+  const auto far_toa =
+      s.find_peaks(5, 0.05, /*min_sep_aoa=*/5, 2, /*aoa_wrap_period=*/90);
+  EXPECT_EQ(far_toa.size(), 2u);
+}
+
 TEST(Spectrum2d, EmptySpectrumYieldsNoPeaks) {
   Spectrum2d s;
   s.aoa_grid = Grid(0.0, 1.0, 2);

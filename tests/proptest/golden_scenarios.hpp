@@ -18,6 +18,7 @@
 #include "channel/csi.hpp"
 #include "channel/multipath.hpp"
 #include "core/roarray.hpp"
+#include "dsp/angles.hpp"
 #include "dsp/grid.hpp"
 
 namespace roarray::golden {
@@ -172,6 +173,27 @@ inline GoldenRecord compute_golden(const GoldenScenario& s) {
   const auto peaks = marginal.find_peaks(1);
   field("aoa_marginal_peak_deg", peaks.empty() ? -1.0 : peaks.front().aoa_deg,
         1e-6);
+
+  // Coarse-to-fine pruned-support path: pins its direct pick and its
+  // agreement with the full-grid solve above. The restricted solve is
+  // numerically different (not bit-identical), so the picks carry the
+  // same grid-pinned tolerances and the agreement field encodes the
+  // documented within-2-grid-steps contract.
+  auto cf_est = s.estimator;
+  cf_est.coarse_fine.enabled = true;
+  const auto cf = core::roarray_estimate(burst.csi, cf_est, array,
+                                         runtime::EstimateContext{});
+  field("cf_valid", cf.valid ? 1.0 : 0.0, 0.0);
+  field("cf_direct_aoa_deg", cf.valid ? cf.direct.aoa_deg : -1.0, 1e-6);
+  field("cf_direct_toa_ns", cf.valid ? cf.direct.toa_s * 1e9 : -1.0, 1e-6);
+  const bool cf_agrees =
+      r.valid == cf.valid &&
+      (!r.valid ||
+       (dsp::folded_aoa_separation_deg(cf.direct.aoa_deg, r.direct.aoa_deg) <=
+            2.0 * s.estimator.aoa_grid.step() + 1e-12 &&
+        std::abs(cf.direct.toa_s - r.direct.toa_s) <=
+            2.0 * s.estimator.toa_grid.step() + 1e-15));
+  field("cf_agrees_with_full", cf_agrees ? 1.0 : 0.0, 0.0);
   return rec;
 }
 

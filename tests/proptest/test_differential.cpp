@@ -352,6 +352,51 @@ TEST(ProptestDifferential, SparseRecoveryAgreesWithMusicAndSpotfi) {
       /*shrink=*/{}, show_two_path_scene, cfg);
 }
 
+TEST(ProptestDifferential, CoarseToFineAgreesWithFullGridSolve) {
+  pt::CheckConfig cfg;
+  cfg.cases = 6;
+  pt::check<TwoPathScene>(
+      "coarse-to-fine factored solve agrees with the full-grid solve",
+      gen_two_path_scene(),
+      [](const TwoPathScene& s) -> std::optional<std::string> {
+        const roarray::dsp::ArrayConfig array;
+        const auto burst = make_burst(s, array);
+
+        const auto full_cfg = scene_estimator_config();
+        const auto full = roarray::core::roarray_estimate(
+            burst.csi, full_cfg, array, roarray::runtime::EstimateContext{});
+
+        auto cf_cfg = full_cfg;
+        cf_cfg.coarse_fine.enabled = true;
+        const auto fast = roarray::core::roarray_estimate(
+            burst.csi, cf_cfg, array, roarray::runtime::EstimateContext{});
+
+        if (full.valid != fast.valid) {
+          return "coarse-to-fine flipped the validity of the estimate";
+        }
+        if (!full.valid) return std::nullopt;
+        const double daoa = roarray::dsp::folded_aoa_separation_deg(
+            fast.direct.aoa_deg, full.direct.aoa_deg);
+        if (daoa > 2.0 * full_cfg.aoa_grid.step() + 1e-12) {
+          std::ostringstream os;
+          os << "direct AoA moved " << daoa << " deg (full "
+             << full.direct.aoa_deg << ", coarse-fine " << fast.direct.aoa_deg
+             << ")";
+          return os.str();
+        }
+        const double dtoa = std::abs(fast.direct.toa_s - full.direct.toa_s);
+        if (dtoa > 2.0 * full_cfg.toa_grid.step() + 1e-15) {
+          std::ostringstream os;
+          os << "direct ToA moved " << dtoa * 1e9 << " ns (full "
+             << full.direct.toa_s * 1e9 << " ns, coarse-fine "
+             << fast.direct.toa_s * 1e9 << " ns)";
+          return os.str();
+        }
+        return std::nullopt;
+      },
+      /*shrink=*/{}, show_two_path_scene, cfg);
+}
+
 // ---------------------------------------------------------------------------
 // Metamorphic relations.
 

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -160,8 +161,13 @@ TEST(ServeBatching, LingerHoldsUntilTickOrFullBatch) {
             serve::SubmitStatus::kAccepted);
   EXPECT_FALSE(svc.pump());  // linger window still open at tick 20
   svc.advance_time(109);
-  EXPECT_FALSE(svc.pump());  // 10 + 100 not yet reached
+  EXPECT_FALSE(svc.pump());  // window not over yet
+  // Boundary convention: the window is over STRICTLY after submit +
+  // linger, so the batch still lingers at exactly tick 110 — same rule
+  // as the deadline checks (regression: linger used >= here).
   svc.advance_time(110);
+  EXPECT_FALSE(svc.pump());
+  svc.advance_time(111);
   EXPECT_TRUE(svc.pump());  // both requests go as one batch
   const auto stats = svc.stats();
   EXPECT_EQ(stats.batches, 1u);
@@ -169,8 +175,8 @@ TEST(ServeBatching, LingerHoldsUntilTickOrFullBatch) {
   EXPECT_EQ(stats.batch_size_hist[1], 1u);  // one batch of size 2
   EXPECT_EQ(stats.completed_ok, 2u);
   EXPECT_EQ(stats.latency_ticks.size(), 2u);
-  EXPECT_EQ(stats.latency_ticks[0], 100.0);  // done 110 - submitted 10
-  EXPECT_EQ(stats.latency_ticks[1], 90.0);
+  EXPECT_EQ(stats.latency_ticks[0], 101.0);  // done 111 - submitted 10
+  EXPECT_EQ(stats.latency_ticks[1], 91.0);
 }
 
 TEST(ServeBatching, FullBatchDispatchesInsideLingerWindow) {
@@ -223,6 +229,27 @@ TEST(ServeDeadline, ExpiredRequestsAreDroppedWithCallback) {
   EXPECT_EQ(stats.completed_ok, 0u);
   EXPECT_TRUE(stats.latency_ticks.empty());
   EXPECT_EQ(stats.batches, 0u);  // nothing was estimated
+}
+
+TEST(ServeDeadline, RequestProcessedAtExactDeadlineTickCompletesOk) {
+  // Pins the documented boundary: a request expires STRICTLY after
+  // submit_tick + deadline_ticks, so one processed at exactly that tick
+  // is estimated normally.
+  serve::ServeConfig cfg = small_config(0);
+  cfg.deadline_ticks = 5;
+  serve::LocalizationService svc(cfg);
+  serve::Response resp;
+  ASSERT_EQ(svc.submit(clean_request(3, 10),
+                       [&](const serve::Response& r) { resp = r; }),
+            serve::SubmitStatus::kAccepted);
+  svc.advance_time(15);  // exactly submit (10) + deadline (5)
+  EXPECT_TRUE(svc.pump());
+  EXPECT_EQ(resp.status, serve::ResponseStatus::kOk);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.deadline_dropped, 0u);
+  EXPECT_EQ(stats.completed_ok, 1u);
+  ASSERT_EQ(stats.latency_ticks.size(), 1u);
+  EXPECT_EQ(stats.latency_ticks[0], 5.0);
 }
 
 TEST(ServeDeadline, FreshRequestInSameQueueStillCompletes) {
@@ -355,6 +382,38 @@ TEST(ServeReplay, TraceReplayMatchesOfflinePipelineBitExactly) {
   EXPECT_EQ(resp.location.position.x, direct_fix.position.x);
   EXPECT_EQ(resp.location.position.y, direct_fix.position.y);
   EXPECT_EQ(resp.location.cost, direct_fix.cost);
+}
+
+TEST(ServeCallbacks, ThrowingCallbackDoesNotWedgeOrRobSiblings) {
+  // Regression: a throwing on_done used to escape process_batch between
+  // the in_flight_ decrement's siblings — the remaining callbacks of
+  // the batch were skipped and (in dispatcher mode) the exception would
+  // std::terminate the thread. The service must swallow it, count it,
+  // invoke every sibling, and still reach quiescence in drain().
+  serve::ServeConfig cfg = small_config(0);
+  cfg.max_batch = 2;
+  serve::LocalizationService svc(cfg);
+  bool second_called = false;
+  ASSERT_EQ(svc.submit(clean_request(1, 0),
+                       [](const serve::Response&) {
+                         throw std::runtime_error("client bug");
+                       }),
+            serve::SubmitStatus::kAccepted);
+  ASSERT_EQ(svc.submit(clean_request(2, 0),
+                       [&](const serve::Response&) { second_called = true; }),
+            serve::SubmitStatus::kAccepted);
+  EXPECT_NO_THROW(svc.drain());  // must not propagate and must not hang
+  EXPECT_TRUE(second_called);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.callback_exceptions, 1u);
+  EXPECT_EQ(stats.completed_ok, 2u);
+  // The service stays fully usable afterwards.
+  bool third_called = false;
+  ASSERT_EQ(svc.submit(clean_request(3, 1),
+                       [&](const serve::Response&) { third_called = true; }),
+            serve::SubmitStatus::kAccepted);
+  svc.drain();
+  EXPECT_TRUE(third_called);
 }
 
 // --- concurrent paths (runtime label; TSan/ASan instrument these) ---

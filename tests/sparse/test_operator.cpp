@@ -240,5 +240,89 @@ TEST_F(KroneckerNonSquare, MatShapeMismatchThrows) {
                std::invalid_argument);
 }
 
+// --- SupportOperator: Cartesian restriction of a Kronecker dictionary ---
+
+class SupportOperatorTest : public KroneckerNonSquare {
+ protected:
+  SupportOperatorTest()
+      : left_support_({1, 4, 6}), right_support_({0, 2}),
+        sub_(*op_, left_support_, right_support_) {}
+
+  /// Dense gather of the kept full columns, in local order b*|I| + a.
+  [[nodiscard]] CMat restricted_dense() const {
+    CMat d(full_.rows(), sub_.cols());
+    for (index_t local = 0; local < sub_.cols(); ++local) {
+      d.set_col(local, full_.col_vec(sub_.full_index(local)));
+    }
+    return d;
+  }
+
+  std::vector<index_t> left_support_, right_support_;
+  SupportOperator sub_;
+};
+
+TEST_F(SupportOperatorTest, FullIndexMapsLocalToFullColumns) {
+  EXPECT_EQ(sub_.rows(), op_->rows());
+  EXPECT_EQ(sub_.cols(), 6);  // |I| * |J| = 3 * 2
+  EXPECT_EQ(sub_.full_cols(), op_->cols());
+  // local b * |I| + a -> right_support[b] * Nl + left_support[a].
+  EXPECT_EQ(sub_.full_index(0), 0 * 7 + 1);
+  EXPECT_EQ(sub_.full_index(2), 0 * 7 + 6);
+  EXPECT_EQ(sub_.full_index(3), 2 * 7 + 1);
+  EXPECT_EQ(sub_.full_index(5), 2 * 7 + 6);
+  EXPECT_THROW((void)sub_.full_index(-1), std::out_of_range);
+  EXPECT_THROW((void)sub_.full_index(6), std::out_of_range);
+}
+
+TEST_F(SupportOperatorTest, ApplyAndAdjointMatchTheGatheredDenseColumns) {
+  auto rng = rt::make_rng(72);
+  const CMat d = restricted_dense();
+  for (int t = 0; t < 5; ++t) {
+    const CVec x = rt::random_cvec(sub_.cols(), rng);
+    rt::expect_vec_near(sub_.apply(x), matvec(d, x), 1e-10, "apply");
+    const CVec y = rt::random_cvec(sub_.rows(), rng);
+    rt::expect_vec_near(sub_.apply_adjoint(y), matvec_adj(d, y), 1e-10,
+                        "adjoint");
+  }
+  rt::expect_mat_near(sub_.row_gram(), matmul(d, adjoint(d)), 1e-9,
+                      "row_gram");
+}
+
+TEST_F(SupportOperatorTest, ScatterEmbedsOnSupportAndZerosElsewhere) {
+  auto rng = rt::make_rng(73);
+  const CVec x = rt::random_cvec(sub_.cols(), rng);
+  const CVec full = sub_.scatter(x);
+  ASSERT_EQ(full.size(), op_->cols());
+  for (index_t local = 0; local < sub_.cols(); ++local) {
+    EXPECT_EQ(full[sub_.full_index(local)], x[local]);
+  }
+  index_t nonzero = 0;
+  for (index_t i = 0; i < full.size(); ++i) {
+    if (full[i] != cxd{0.0, 0.0}) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, sub_.cols());
+  // Restricted apply == full apply of the scattered vector.
+  rt::expect_vec_near(sub_.apply(x), op_->apply(full), 1e-10, "consistency");
+
+  // Matrix overload scatters every snapshot column.
+  const CMat xm = rt::random_cmat(sub_.cols(), 3, rng);
+  const CMat fm = sub_.scatter(xm);
+  ASSERT_EQ(fm.rows(), op_->cols());
+  for (index_t k = 0; k < 3; ++k) {
+    rt::expect_vec_near(fm.col_vec(k), sub_.scatter(xm.col_vec(k)), 0.0,
+                        "scatter mat");
+  }
+}
+
+TEST_F(SupportOperatorTest, RejectsInvalidSupports) {
+  EXPECT_THROW(SupportOperator(*op_, {}, {0}), std::invalid_argument);
+  EXPECT_THROW(SupportOperator(*op_, {0}, {}), std::invalid_argument);
+  EXPECT_THROW(SupportOperator(*op_, {0, 0}, {0}), std::invalid_argument);
+  EXPECT_THROW(SupportOperator(*op_, {2, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(SupportOperator(*op_, {0, 7}, {0}), std::invalid_argument);
+  EXPECT_THROW(SupportOperator(*op_, {0}, {3}), std::invalid_argument);
+  EXPECT_THROW(SupportOperator(*op_, {0}, {-1, 0}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace roarray::sparse
