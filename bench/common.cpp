@@ -6,6 +6,7 @@
 #include <fstream>
 #include <random>
 
+#include "linalg/backend/backend.hpp"
 #include "runtime/seed.hpp"
 
 namespace roarray::bench {
@@ -177,6 +178,20 @@ std::vector<SystemErrors> run_band(const sim::Testbed& testbed,
 
 std::vector<double> cdf_fractions() {
   return {0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+}
+
+void emit_machine_provenance(eval::JsonWriter& w, int pool_threads) {
+  const auto d = linalg::backend::dispatch_info();
+  w.key("machine").begin_object();
+  w.key("hardware_threads")
+      .value(runtime::ThreadPool::default_thread_count());
+  w.key("pool_threads").value(pool_threads);
+  w.key("backend_requested").value(d.requested);
+  w.key("backend_selected").value(d.selected->name);
+  w.key("simd_compiled").value(d.simd_compiled);
+  w.key("simd_supported").value(d.simd_supported);
+  w.key("cpu_features").value(linalg::backend::cpu_features());
+  w.end_object();
 }
 
 bool write_json_report(const std::string& path,

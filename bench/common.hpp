@@ -109,6 +109,17 @@ struct SystemErrors {
 /// The three-band fractions used by every CDF table.
 [[nodiscard]] std::vector<double> cdf_fractions();
 
+/// Emits the `"machine"` provenance object shared by every bench JSON
+/// artifact: the hardware thread count, the pool width the run actually
+/// used (`pool_threads` — the effective value, after any max()/env
+/// adjustment, not the requested one), and the compute-backend dispatch
+/// decision (requested vs selected kernel table, whether a SIMD TU was
+/// compiled in and whether the CPU supports it, detected CPU features).
+/// Keeping these next to the timings makes BENCH_* trajectories
+/// comparable across machines. Call between key/value pairs of an open
+/// object.
+void emit_machine_provenance(eval::JsonWriter& w, int pool_threads);
+
 /// Writes a JSON artifact to `path`: opens the file, hands a JsonWriter
 /// to `body`, then verifies the stream flushed and the writer emitted a
 /// complete document. Returns false with a stderr diagnostic on any

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <string>
 #include <thread>
@@ -46,7 +47,12 @@ struct Options {
   std::uint64_t deadline_us = 0;
   int iterations = 120;     ///< FISTA iteration cap per solve.
   std::string trace;        ///< load this trace instead of recording.
+  /// Canonical trace path: the committed artifact at the repo root.
+  /// When neither --trace nor --record is given and this file exists,
+  /// it is replayed rather than overwritten, so a bare run from the
+  /// repo root is reproducible and never clobbers the committed trace.
   std::string record = "BENCH_serve_trace.bin";
+  bool record_forced = false;  ///< --record given: always re-record.
   std::string json = "BENCH_serve.json";
 };
 
@@ -88,6 +94,7 @@ Options parse_options(int argc, char** argv) {
       o.trace = need_value("--trace");
     } else if (std::strcmp(argv[i], "--record") == 0) {
       o.record = need_value("--record");
+      o.record_forced = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       o.json = need_value("--json");
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -267,7 +274,14 @@ int main(int argc, char** argv) {
 
   std::string trace_path = o.trace;
   if (trace_path.empty()) {
-    record_trace(o);
+    if (!o.record_forced && std::ifstream(o.record).good()) {
+      // Default path and the file (typically the committed repo-root
+      // artifact) already exists: replay it instead of re-recording.
+      std::printf("replaying existing trace %s (pass --record to re-record)\n",
+                  o.record.c_str());
+    } else {
+      record_trace(o);
+    }
     trace_path = o.record;
   }
 
@@ -308,7 +322,7 @@ int main(int argc, char** argv) {
 
   const bool written = bench::write_json_report(o.json, [&](eval::JsonWriter& w) {
     w.begin_object();
-    w.key("threads").value(o.threads);
+    bench::emit_machine_provenance(w, o.threads);
     w.key("requests").value(static_cast<std::int64_t>(o.requests));
     w.key("iterations").value(o.iterations);
     w.key("trace").begin_object();

@@ -28,6 +28,15 @@
 #                                     when the toolchain cannot link
 #                                     -fsanitize=thread; any TSan report
 #                                     fails the leg.
+#   scripts/ci.sh --backends [jobs]   forced-backend leg: reruns the
+#                                     tier-1 suite plus the bench smoke
+#                                     once per compute backend
+#                                     (ROARRAY_BACKEND=scalar and
+#                                     =simd). The simd pass is skipped
+#                                     (exit 0) when dispatch reports the
+#                                     binary has no SIMD table for this
+#                                     machine — probe via
+#                                     micro_benchmarks --backend-info.
 #   scripts/ci.sh --serve-smoke [jobs] record a small CSI trace, replay
 #                                     it through the localization
 #                                     service via bench/serve_throughput,
@@ -65,6 +74,10 @@ case "${1:-}" in
     ;;
   --tidy)
     MODE=tidy
+    shift
+    ;;
+  --backends)
+    MODE=backends
     shift
     ;;
   --serve-smoke)
@@ -218,6 +231,33 @@ if [[ "$MODE" == tidy ]]; then
   else
     echo "Static-analysis leg OK"
   fi
+  exit 0
+fi
+
+if [[ "$MODE" == backends ]]; then
+  echo "== Forced-backend leg (ROARRAY_BACKEND=scalar, =simd) =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "${JOBS}"
+  for be in scalar simd; do
+    info=$(ROARRAY_BACKEND="$be" ./build/bench/micro_benchmarks --backend-info)
+    echo "-- ROARRAY_BACKEND=${be}: ${info}"
+    if [[ "$be" == simd && "$info" != *"selected=simd"* ]]; then
+      # Graceful fallback (no SIMD TU in this build, or the CPU lacks
+      # the vector units): nothing new to test under this forcing.
+      echo "-- simd pass SKIPPED: dispatch fell back to scalar"
+      continue
+    fi
+    ROARRAY_BACKEND="$be" ctest --preset default -j "${JOBS}"
+    ROARRAY_BACKEND="$be" ./build/bench/micro_benchmarks --coarse-fine \
+      --json "build/BENCH_micro_${be}.json"
+    test -s "build/BENCH_micro_${be}.json"
+    if grep -nE '"[a-z0-9_]*(identical|matches)[a-z0-9_]*": *false' \
+        "build/BENCH_micro_${be}.json"; then
+      echo "backends leg FAILED: identity flag false under ROARRAY_BACKEND=${be}" >&2
+      exit 1
+    fi
+  done
+  echo "Backends leg OK"
   exit 0
 fi
 

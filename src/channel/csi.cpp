@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/steering.hpp"
+#include "linalg/backend/backend.hpp"
 
 namespace roarray::channel {
 
@@ -24,6 +25,7 @@ CMat synthesize_csi(const std::vector<Path>& paths, const dsp::ArrayConfig& cfg,
   }
 
   CMat c(m, l);
+  const auto& bk = linalg::backend::active();
   for (const Path& p : paths) {
     const cxd lam = dsp::lambda_aoa(p.aoa_deg, cfg.spacing_over_wavelength());
     const cxd gam = dsp::gamma_toa(p.toa_s + imp.detection_delay_s,
@@ -31,11 +33,9 @@ CMat synthesize_csi(const std::vector<Path>& paths, const dsp::ArrayConfig& cfg,
     const cxd g = p.gain * imp.polarization_scale;
     cxd gl{1.0, 0.0};
     for (index_t sc = 0; sc < l; ++sc) {
-      cxd lm{1.0, 0.0};
-      for (index_t ant = 0; ant < m; ++ant) {
-        c(ant, sc) += g * gl * lm;
-        lm *= lam;
-      }
+      // Column sc accumulates (g gl) lam^ant over antennas: one backend
+      // phase recurrence per (path, subcarrier) column.
+      bk.phase_ramp_accum(g * gl, lam, m, c.data() + sc * m);
       gl *= gam;
     }
   }

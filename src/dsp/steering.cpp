@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/backend/backend.hpp"
+
 namespace roarray::dsp {
 
 using linalg::index_t;
@@ -22,11 +24,8 @@ CVec steering_aoa(double theta_deg, const ArrayConfig& cfg) {
   const index_t m = cfg.num_antennas;
   const cxd lam = lambda_aoa(theta_deg, cfg.spacing_over_wavelength());
   CVec s(m);
-  cxd acc{1.0, 0.0};
-  for (index_t i = 0; i < m; ++i) {
-    s[i] = acc;
-    acc *= lam;
-  }
+  // s[i] = lam^i via the backend phase recurrence (scale 1 + 0i).
+  linalg::backend::active().phase_ramp(cxd{1.0, 0.0}, lam, m, s.data());
   return s;
 }
 
@@ -43,13 +42,12 @@ CVec steering_joint_sub(double theta_deg, double tau_s, const ArrayConfig& cfg,
   const cxd lam = lambda_aoa(theta_deg, cfg.spacing_over_wavelength());
   const cxd gam = gamma_toa(tau_s, cfg.subcarrier_spacing_hz);
   CVec s(ms * ls);
+  const auto& bk = linalg::backend::active();
   cxd gl{1.0, 0.0};
   for (index_t l = 0; l < ls; ++l) {
-    cxd lm{1.0, 0.0};
-    for (index_t m = 0; m < ms; ++m) {
-      s[l * ms + m] = gl * lm;
-      lm *= lam;
-    }
+    // s[l*ms + m] = gl * lam^m: one backend phase recurrence per
+    // subcarrier block, scaled by the running ToA factor.
+    bk.phase_ramp(gl, lam, ms, s.data() + l * ms);
     gl *= gam;
   }
   return s;
@@ -66,13 +64,10 @@ CMat steering_matrix_aoa(const Grid& aoa_grid_deg, const ArrayConfig& cfg) {
 CMat steering_matrix_toa(const Grid& toa_grid_s, const ArrayConfig& cfg) {
   const index_t l = cfg.num_subcarriers;
   CMat a(l, toa_grid_s.size());
+  const auto& bk = linalg::backend::active();
   for (index_t j = 0; j < toa_grid_s.size(); ++j) {
     const cxd gam = gamma_toa(toa_grid_s[j], cfg.subcarrier_spacing_hz);
-    cxd acc{1.0, 0.0};
-    for (index_t i = 0; i < l; ++i) {
-      a(i, j) = acc;
-      acc *= gam;
-    }
+    bk.phase_ramp(cxd{1.0, 0.0}, gam, l, a.data() + j * l);
   }
   return a;
 }

@@ -1,11 +1,10 @@
 #include "linalg/gemm.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cstring>
 #include <stdexcept>
-#include <utility>
 
+#include "linalg/backend/backend.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace roarray::linalg {
@@ -22,154 +21,8 @@ constexpr index_t kColTile = 32;
 // any parallel win; run the tile schedule on the calling thread.
 constexpr index_t kParallelFlopFloor = 1 << 15;
 
+using backend::Backend;
 using runtime::ThreadPool;
-
-/// C(i0:i1, j0:j1) += A(i0:i1, :) B(:, j0:j1) on interleaved storage.
-/// Reduction over kk ascends for every (i, j), matching naive matmul.
-void gemm_tile(index_t i0, index_t i1, index_t j0, index_t j1, index_t m,
-               index_t k, const cxd* a, const cxd* b, cxd* c) {
-  for (index_t j = j0; j < j1; ++j) {
-    const cxd* bj = b + j * k;
-    double* cj = reinterpret_cast<double*>(c + j * m);
-    for (index_t kk = 0; kk < k; ++kk) {
-      const double br = bj[kk].real();
-      const double bi = bj[kk].imag();
-      if (br == 0.0 && bi == 0.0) continue;  // matmul's zero-skip
-      const double* ak = reinterpret_cast<const double*>(a + kk * m);
-      for (index_t i = i0; i < i1; ++i) {
-        const double ar = ak[2 * i];
-        const double ai = ak[2 * i + 1];
-        cj[2 * i] += ar * br - ai * bi;
-        cj[2 * i + 1] += ar * bi + ai * br;
-      }
-    }
-  }
-}
-
-// Matrices with at most this many rows go through the fixed-height
-// kernels below instead of the generic tile.
-constexpr index_t kSmallRowLimit = 16;
-
-/// C(:, j0:j1) = A B(:, j0:j1) for an A with a compile-time row count.
-/// The Kronecker fast path spends most of its time in GEMMs whose output
-/// has only a few rows (the antenna count M, or M times the snapshot
-/// count); the generic tile reloads and restores the C column on every
-/// step of the k reduction there. Keeping the whole column in a
-/// fixed-size accumulator removes that traffic. Reduction order and the
-/// zero-skip match gemm_tile exactly, so results are bit-identical.
-template <int M>
-void gemm_cols_small(index_t j0, index_t j1, index_t k, const cxd* a,
-                     const cxd* b, cxd* c) {
-  for (index_t j = j0; j < j1; ++j) {
-    const cxd* bj = b + j * k;
-    double acc[2 * M] = {};
-    for (index_t kk = 0; kk < k; ++kk) {
-      const double br = bj[kk].real();
-      const double bi = bj[kk].imag();
-      if (br == 0.0 && bi == 0.0) continue;  // matmul's zero-skip
-      const double* ak = reinterpret_cast<const double*>(a + kk * M);
-      for (int i = 0; i < M; ++i) {
-        acc[2 * i] += ak[2 * i] * br - ak[2 * i + 1] * bi;
-        acc[2 * i + 1] += ak[2 * i] * bi + ak[2 * i + 1] * br;
-      }
-    }
-    std::memcpy(c + j * M, acc, sizeof(acc));
-  }
-}
-
-using SmallKernel = void (*)(index_t, index_t, index_t, const cxd*,
-                             const cxd*, cxd*);
-
-template <int... Ms>
-constexpr std::array<SmallKernel, sizeof...(Ms)> small_kernel_table(
-    std::integer_sequence<int, Ms...>) {
-  return {&gemm_cols_small<Ms + 1>...};
-}
-
-constexpr auto kSmallKernels =
-    small_kernel_table(std::make_integer_sequence<int, kSmallRowLimit>{});
-
-// Reductions at most this deep go through the fixed-depth kernel when
-// the row count is too large for the fixed-height one.
-constexpr index_t kSmallDepthLimit = 8;
-
-/// C(:, j0:j1) = A B(:, j0:j1) for a compile-time reduction depth K.
-/// This is the Kronecker adjoint's final product (tall output, inner
-/// dimension = the antenna count). The loop structure is the generic
-/// tile's (vectorizable contiguous sweep over the C column per
-/// reduction step, ascending as always), but the first step stores
-/// instead of accumulating — no memset of C and one fewer read pass
-/// per column. Zero B entries are not skipped here: their terms are
-/// exact +/-0, which leaves every sum's value unchanged versus the
-/// zero-skipping kernels (only the sign of an all-zero sum can
-/// differ).
-template <int K>
-void gemm_cols_small_depth(index_t m, index_t j0, index_t j1, const cxd* a,
-                           const cxd* b, cxd* c) {
-  const double* ad = reinterpret_cast<const double*>(a);
-  for (index_t j = j0; j < j1; ++j) {
-    const cxd* bj = b + j * K;
-    double* cj = reinterpret_cast<double*>(c + j * m);
-    {
-      const double br = bj[0].real();
-      const double bi = bj[0].imag();
-      for (index_t i = 0; i < m; ++i) {
-        const double ar = ad[2 * i];
-        const double ai = ad[2 * i + 1];
-        cj[2 * i] = ar * br - ai * bi;
-        cj[2 * i + 1] = ar * bi + ai * br;
-      }
-    }
-    for (int kk = 1; kk < K; ++kk) {
-      const double br = bj[kk].real();
-      const double bi = bj[kk].imag();
-      const double* ak = ad + 2 * kk * m;
-      for (index_t i = 0; i < m; ++i) {
-        const double ar = ak[2 * i];
-        const double ai = ak[2 * i + 1];
-        cj[2 * i] += ar * br - ai * bi;
-        cj[2 * i + 1] += ar * bi + ai * br;
-      }
-    }
-  }
-}
-
-using SmallDepthKernel = void (*)(index_t, index_t, index_t, const cxd*,
-                                  const cxd*, cxd*);
-
-template <int... Ks>
-constexpr std::array<SmallDepthKernel, sizeof...(Ks)> small_depth_table(
-    std::integer_sequence<int, Ks...>) {
-  return {&gemm_cols_small_depth<Ks + 1>...};
-}
-
-constexpr auto kSmallDepthKernels =
-    small_depth_table(std::make_integer_sequence<int, kSmallDepthLimit>{});
-
-/// C(i0:i1, j0:j1) = A(:, i0:i1)^H B(:, j0:j1): contiguous dot products
-/// down the shared k dimension, ascending like naive matmul_adj_left.
-void gemm_adj_left_tile(index_t i0, index_t i1, index_t j0, index_t j1,
-                        index_t m, index_t k, const cxd* a, const cxd* b,
-                        cxd* c) {
-  for (index_t j = j0; j < j1; ++j) {
-    const double* bj = reinterpret_cast<const double*>(b + j * k);
-    cxd* cj = c + j * m;
-    for (index_t i = i0; i < i1; ++i) {
-      const double* ai = reinterpret_cast<const double*>(a + i * k);
-      double sr = 0.0;
-      double si = 0.0;
-      for (index_t kk = 0; kk < k; ++kk) {
-        const double ar = ai[2 * kk];
-        const double aim = ai[2 * kk + 1];
-        const double brr = bj[2 * kk];
-        const double bii = bj[2 * kk + 1];
-        sr += ar * brr + aim * bii;
-        si += ar * bii - aim * brr;
-      }
-      cj[i] = cxd{sr, si};
-    }
-  }
-}
 
 /// Runs `tile(i0, i1, j0, j1)` over the fixed output partition, fanning
 /// out along whichever output dimension yields more tiles. Each output
@@ -215,78 +68,83 @@ void run_tiled(index_t m, index_t n, index_t k, const ThreadPool* pool,
 }  // namespace
 
 void gemm(index_t m, index_t n, index_t k, const cxd* a, const cxd* b,
-          cxd* c, const ThreadPool* pool) {
+          cxd* c, const ThreadPool* pool, const Backend* be) {
   if (m <= 0 || n <= 0) return;
+  // Resolve the kernel table once per call: every tile of this product
+  // (and every pool worker executing one) uses the same table.
+  const Backend& bk = be != nullptr ? *be : backend::active();
   if (k <= 0) {
     std::memset(static_cast<void*>(c), 0, static_cast<std::size_t>(m * n) * sizeof(cxd));
     return;
   }
-  if (m <= kSmallRowLimit) {
+  if (m <= backend::kSmallRowLimit) {
     // Fixed-height kernel: every column is written exactly once (no
     // memset needed), parallelism comes from disjoint column ranges.
-    const SmallKernel kern = kSmallKernels[static_cast<std::size_t>(m - 1)];
     const index_t col_tiles = (n + kColTile - 1) / kColTile;
     const bool parallel = pool != nullptr && pool->threads() > 1 &&
                           m * n * (k + 1) >= kParallelFlopFloor &&
                           col_tiles > 1;
     if (parallel) {
-      pool->parallel_for_range(
-          n, kColTile, [&](index_t j0, index_t j1) { kern(j0, j1, k, a, b, c); });
+      pool->parallel_for_range(n, kColTile, [&](index_t j0, index_t j1) {
+        bk.gemm_cols(m, j0, j1, k, a, b, c);
+      });
     } else {
-      kern(0, n, k, a, b, c);
+      bk.gemm_cols(m, 0, n, k, a, b, c);
     }
     return;
   }
-  if (k <= kSmallDepthLimit) {
-    const SmallDepthKernel kern =
-        kSmallDepthKernels[static_cast<std::size_t>(k - 1)];
+  if (k <= backend::kSmallDepthLimit) {
     const index_t col_tiles = (n + kColTile - 1) / kColTile;
     const bool parallel = pool != nullptr && pool->threads() > 1 &&
                           m * n * (k + 1) >= kParallelFlopFloor &&
                           col_tiles > 1;
     if (parallel) {
-      pool->parallel_for_range(
-          n, kColTile, [&](index_t j0, index_t j1) { kern(m, j0, j1, a, b, c); });
+      pool->parallel_for_range(n, kColTile, [&](index_t j0, index_t j1) {
+        bk.gemm_cols_depth(m, j0, j1, k, a, b, c);
+      });
     } else {
-      kern(m, 0, n, a, b, c);
+      bk.gemm_cols_depth(m, 0, n, k, a, b, c);
     }
     return;
   }
   std::memset(static_cast<void*>(c), 0, static_cast<std::size_t>(m * n) * sizeof(cxd));
   run_tiled(m, n, k, pool, [&](index_t i0, index_t i1, index_t j0, index_t j1) {
-    gemm_tile(i0, i1, j0, j1, m, k, a, b, c);
+    bk.gemm_tile(i0, i1, j0, j1, m, k, a, b, c);
   });
 }
 
 void gemm_adj_left(index_t m, index_t n, index_t k, const cxd* a,
-                   const cxd* b, cxd* c, const ThreadPool* pool) {
+                   const cxd* b, cxd* c, const ThreadPool* pool,
+                   const Backend* be) {
   if (m <= 0 || n <= 0) return;
+  const Backend& bk = be != nullptr ? *be : backend::active();
   if (k <= 0) {
     std::memset(static_cast<void*>(c), 0, static_cast<std::size_t>(m * n) * sizeof(cxd));
     return;
   }
   run_tiled(m, n, k, pool, [&](index_t i0, index_t i1, index_t j0, index_t j1) {
-    gemm_adj_left_tile(i0, i1, j0, j1, m, k, a, b, c);
+    bk.gemm_adj_tile(i0, i1, j0, j1, m, k, a, b, c);
   });
 }
 
-CMat matmul_blocked(const CMat& a, const CMat& b, const ThreadPool* pool) {
+CMat matmul_blocked(const CMat& a, const CMat& b, const ThreadPool* pool,
+                    const Backend* be) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("matmul_blocked: shape mismatch");
   }
   CMat c(a.rows(), b.cols());
-  gemm(a.rows(), b.cols(), a.cols(), a.data(), b.data(), c.data(), pool);
+  gemm(a.rows(), b.cols(), a.cols(), a.data(), b.data(), c.data(), pool, be);
   return c;
 }
 
 CMat matmul_adj_left_blocked(const CMat& a, const CMat& b,
-                             const ThreadPool* pool) {
+                             const ThreadPool* pool, const Backend* be) {
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("matmul_adj_left_blocked: shape mismatch");
   }
   CMat c(a.cols(), b.cols());
   gemm_adj_left(a.cols(), b.cols(), a.rows(), a.data(), b.data(), c.data(),
-                pool);
+                pool, be);
   return c;
 }
 

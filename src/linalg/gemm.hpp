@@ -1,20 +1,23 @@
-// Cache-blocked complex GEMM kernels for the operator hot path.
+// Cache-blocked complex GEMM for the operator hot path.
 //
 // The generic matmul/matmul_adj_left in matrix.hpp are written against
 // std::complex arithmetic, whose operator* lowers to a guarded multiply
 // (NaN fix-up branch) and whose scattered per-column loops defeat
-// vectorization. These kernels work on the raw interleaved (re, im)
-// storage with hand-separated real arithmetic, tile the *output* into
-// fixed-size blocks, and optionally fan the disjoint tiles out over a
-// runtime::ThreadPool.
+// vectorization. These entry points tile the *output* into fixed-size
+// blocks, optionally fan the disjoint tiles out over a
+// runtime::ThreadPool, and execute each tile through a
+// backend::Backend kernel table (scalar, or hand-vectorized SIMD —
+// see linalg/backend/backend.hpp for selection and the per-kernel
+// scalar-vs-simd tolerances).
 //
 // Determinism contract: every output element is produced by exactly one
 // tile, and within a tile the reduction over the inner dimension runs in
-// ascending order — the same order the naive kernels use — so results
-// match the naive kernels to rounding (<= 1e-12 relative in practice;
-// identical accumulation order, only instruction selection may differ)
-// and are bit-identical across thread counts and between the serial and
-// pooled paths (the tile partition depends only on the shapes).
+// ascending order — the same order the naive kernels use — so, on the
+// scalar table, results match the naive kernels to rounding (<= 1e-12
+// relative in practice; identical accumulation order, only instruction
+// selection may differ). On any fixed table, results are bit-identical
+// across thread counts and between the serial and pooled paths (the
+// tile partition depends only on the shapes, never on the pool).
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -26,25 +29,35 @@ class ThreadPool;
 
 namespace roarray::linalg {
 
+namespace backend {
+struct Backend;
+}
+
 /// C = A B on raw column-major buffers: A is m x k, B is k x n, C is
 /// m x n and is overwritten. Mirrors matmul's skip of exact-zero B
 /// entries (a large win on soft-thresholded sparse iterates). Null pool
-/// (or tiny problems) runs the identical tile schedule serially.
+/// (or tiny problems) runs the identical tile schedule serially. Null
+/// backend uses the process-global backend::active() table; pass one
+/// explicitly only to pin a table (differential tests, benches).
 void gemm(index_t m, index_t n, index_t k, const cxd* a, const cxd* b,
-          cxd* c, const runtime::ThreadPool* pool = nullptr);
+          cxd* c, const runtime::ThreadPool* pool = nullptr,
+          const backend::Backend* be = nullptr);
 
 /// C = A^H B on raw column-major buffers: A is k x m, B is k x n, C is
 /// m x n and is overwritten (A^H is never formed).
 void gemm_adj_left(index_t m, index_t n, index_t k, const cxd* a,
                    const cxd* b, cxd* c,
-                   const runtime::ThreadPool* pool = nullptr);
+                   const runtime::ThreadPool* pool = nullptr,
+                   const backend::Backend* be = nullptr);
 
 /// Blocked drop-in for matmul(a, b). Throws on shape mismatch.
 [[nodiscard]] CMat matmul_blocked(const CMat& a, const CMat& b,
-                                  const runtime::ThreadPool* pool = nullptr);
+                                  const runtime::ThreadPool* pool = nullptr,
+                                  const backend::Backend* be = nullptr);
 
 /// Blocked drop-in for matmul_adj_left(a, b) (C = A^H B).
 [[nodiscard]] CMat matmul_adj_left_blocked(
-    const CMat& a, const CMat& b, const runtime::ThreadPool* pool = nullptr);
+    const CMat& a, const CMat& b, const runtime::ThreadPool* pool = nullptr,
+    const backend::Backend* be = nullptr);
 
 }  // namespace roarray::linalg

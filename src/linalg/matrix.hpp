@@ -164,7 +164,9 @@ class Matrix {
 
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<T> data_;
+  // Cache-line-aligned backing store (see kBufferAlign): the SIMD
+  // backends may use aligned loads on column bases.
+  std::vector<T, AlignedAllocator<T>> data_;
 };
 
 using CMat = Matrix<cxd>;

@@ -3,6 +3,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <new>
 
 namespace roarray::linalg {
 
@@ -11,6 +12,39 @@ using cxd = std::complex<double>;
 
 /// Index type used throughout (signed arithmetic per ES.102).
 using index_t = std::ptrdiff_t;
+
+/// Allocation alignment for matrix/vector storage: one cache line,
+/// which also satisfies any vector unit the SIMD backends use (32-byte
+/// AVX, 16-byte NEON). Alignment is a property of the allocation, so it
+/// survives moves and swaps — the buffer pointer changes owner, never
+/// address (tests/linalg/test_backend.cpp asserts this).
+inline constexpr std::size_t kBufferAlign = 64;
+
+/// Minimal aligned allocator for the CMat/CVec backing stores. Equality
+/// is stateless: any instance can free any other instance's memory.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(kBufferAlign % alignof(T) == 0,
+                "kBufferAlign must satisfy the element type's alignment");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kBufferAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kBufferAlign});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
 
 /// Default relative tolerance for decomposition convergence tests.
 inline constexpr double kDefaultTol = 1e-12;

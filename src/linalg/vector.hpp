@@ -128,7 +128,8 @@ class Vector {
     if (rhs.size() != size()) throw std::invalid_argument("Vector: size mismatch");
   }
 
-  std::vector<T> data_;
+  // Cache-line-aligned backing store (see kBufferAlign).
+  std::vector<T, AlignedAllocator<T>> data_;
 };
 
 using CVec = Vector<cxd>;

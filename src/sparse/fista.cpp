@@ -221,11 +221,10 @@ GroupSolveResult solve_group_l1(const LinearOperator& op, const CMat& y,
     out.kappa = cfg.kappa;
   } else {
     const CMat g = op.apply_adjoint_mat(y, pool);
+    const auto& bk = linalg::backend::active();
     std::vector<double> row_sq(static_cast<std::size_t>(n), 0.0);
     for (index_t j = 0; j < k; ++j) {
-      for (index_t i = 0; i < n; ++i) {
-        row_sq[static_cast<std::size_t>(i)] += std::norm(g(i, j));
-      }
+      bk.row_sq_accumulate(g.data() + j * n, n, row_sq.data());
     }
     double mx = 0.0;
     for (index_t i = 0; i < n; ++i) {
@@ -281,18 +280,12 @@ GroupSolveResult solve_group_l1(const LinearOperator& op, const CMat& y,
         l21 += norm * s;
       }
     }
+    // The shrink pass is the backend row_scale kernel (bit-identical
+    // across tables); the fused gradient+accumulate pass above stays
+    // scalar because splitting it would double the memory traffic.
+    const auto& bk = linalg::backend::active();
     for (index_t j = 0; j < k; ++j) {
-      double* cj = xd + 2 * j * n;
-      for (index_t i = 0; i < n; ++i) {
-        const double s = row_scale[static_cast<std::size_t>(i)];
-        if (s < 0.0) {
-          cj[2 * i] = 0.0;
-          cj[2 * i + 1] = 0.0;
-        } else {
-          cj[2 * i] *= s;
-          cj[2 * i + 1] *= s;
-        }
-      }
+      bk.row_scale(x_new.data() + j * n, n, row_scale.data());
     }
     return l21;
   };

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "linalg/backend/backend.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
@@ -17,16 +18,14 @@ using linalg::index_t;
 
 /// Complex soft-thresholding: the proximal operator of t * ||.||_1 on
 /// C^n shrinks each element's magnitude by t, preserving its phase:
-/// prox(z) = z * max(0, 1 - t / |z|).
-inline void soft_threshold_inplace(CVec& x, double t) {
-  for (index_t i = 0; i < x.size(); ++i) {
-    const double mag = std::abs(x[i]);
-    if (mag <= t) {
-      x[i] = cxd{};
-    } else {
-      x[i] *= (1.0 - t / mag);
-    }
-  }
+/// prox(z) = z * max(0, 1 - t / |z|). Null backend uses the
+/// process-global table; pass one explicitly only to pin a table
+/// (differential tests). simd-vs-scalar tolerances: see
+/// Backend::soft_threshold.
+inline void soft_threshold_inplace(CVec& x, double t,
+                                   const linalg::backend::Backend* be = nullptr) {
+  const auto& bk = be != nullptr ? *be : linalg::backend::active();
+  bk.soft_threshold(x.data(), x.size(), t);
 }
 
 /// Row-group soft-thresholding: the proximal operator of
@@ -39,7 +38,9 @@ inline void soft_threshold_inplace(CVec& x, double t) {
 /// grid-by-snapshot iterates every iteration). Per row the squared norm
 /// still sums over columns in ascending order, so the values match the
 /// row-outer formulation exactly.
-inline void group_soft_threshold_rows_inplace(CMat& x, double t) {
+inline void group_soft_threshold_rows_inplace(
+    CMat& x, double t, const linalg::backend::Backend* be = nullptr) {
+  const auto& bk = be != nullptr ? *be : linalg::backend::active();
   const index_t n = x.rows();
   const index_t k = x.cols();
   if (n == 0 || k == 0) return;
@@ -48,44 +49,28 @@ inline void group_soft_threshold_rows_inplace(CMat& x, double t) {
   // set exactly to zero rather than multiplied by 0).
   std::vector<double> scale(static_cast<std::size_t>(n), 0.0);
   for (index_t j = 0; j < k; ++j) {
-    const double* cj = reinterpret_cast<const double*>(x.data() + j * n);
-    for (index_t i = 0; i < n; ++i) {
-      scale[static_cast<std::size_t>(i)] +=
-          cj[2 * i] * cj[2 * i] + cj[2 * i + 1] * cj[2 * i + 1];
-    }
+    bk.row_sq_accumulate(x.data() + j * n, n, scale.data());
   }
   for (index_t i = 0; i < n; ++i) {
     const double norm = std::sqrt(scale[static_cast<std::size_t>(i)]);
     scale[static_cast<std::size_t>(i)] = norm <= t ? -1.0 : 1.0 - t / norm;
   }
   for (index_t j = 0; j < k; ++j) {
-    double* cj = reinterpret_cast<double*>(x.data() + j * n);
-    for (index_t i = 0; i < n; ++i) {
-      const double s = scale[static_cast<std::size_t>(i)];
-      if (s < 0.0) {
-        cj[2 * i] = 0.0;
-        cj[2 * i + 1] = 0.0;
-      } else {
-        cj[2 * i] *= s;
-        cj[2 * i + 1] *= s;
-      }
-    }
+    bk.row_scale(x.data() + j * n, n, scale.data());
   }
 }
 
 /// Sum of row l2 norms (the l2,1 norm). Column-major sweep for the same
 /// reason as group_soft_threshold_rows_inplace; identical values.
-[[nodiscard]] inline double norm_l21_rows(const CMat& x) {
+[[nodiscard]] inline double norm_l21_rows(
+    const CMat& x, const linalg::backend::Backend* be = nullptr) {
+  const auto& bk = be != nullptr ? *be : linalg::backend::active();
   const index_t n = x.rows();
   const index_t k = x.cols();
   if (n == 0 || k == 0) return 0.0;
   std::vector<double> row_sq(static_cast<std::size_t>(n), 0.0);
   for (index_t j = 0; j < k; ++j) {
-    const double* cj = reinterpret_cast<const double*>(x.data() + j * n);
-    for (index_t i = 0; i < n; ++i) {
-      row_sq[static_cast<std::size_t>(i)] +=
-          cj[2 * i] * cj[2 * i] + cj[2 * i + 1] * cj[2 * i + 1];
-    }
+    bk.row_sq_accumulate(x.data() + j * n, n, row_sq.data());
   }
   double acc = 0.0;
   for (index_t i = 0; i < n; ++i) {

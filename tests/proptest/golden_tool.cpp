@@ -11,9 +11,15 @@
 
 #include "golden_io.hpp"
 #include "golden_scenarios.hpp"
+#include "linalg/backend/backend.hpp"
 
 int main(int argc, char** argv) {
   using namespace roarray::golden;
+  // Regeneration always runs the scalar kernel table: the committed
+  // record bytes must not depend on the build machine's vector units.
+  // The test suite diffs against these records with per-field
+  // tolerances, so it passes under any backend.
+  roarray::linalg::backend::force(&roarray::linalg::backend::scalar());
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s --regen <dir> | --check <dir> | --list\n",
                  argv[0]);

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -35,9 +36,12 @@
 #include "music/music.hpp"
 #include "music/spotfi.hpp"
 #include "proptest.hpp"
+#include "linalg/backend/backend.hpp"
+#include "linalg/gemm.hpp"
 #include "sparse/admm.hpp"
 #include "sparse/fista.hpp"
 #include "sparse/operator.hpp"
+#include "sparse/prox.hpp"
 
 namespace pt = roarray::proptest;
 using roarray::channel::Path;
@@ -395,6 +399,136 @@ TEST(ProptestDifferential, CoarseToFineAgreesWithFullGridSolve) {
         return std::nullopt;
       },
       /*shrink=*/{}, show_two_path_scene, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Compute-backend differential: the SIMD kernel table must agree with
+// the scalar table on random problems within the documented tolerances
+// (backend.hpp). Runs vacuously on builds/machines without a SIMD
+// table — the adversarial fixed-input suite lives in
+// tests/linalg/test_backend.cpp and reports the skip visibly.
+
+namespace {
+
+struct BackendCase {
+  roarray::linalg::index_t m = 24, n = 6, k = 80;
+  std::uint64_t seed = 1;
+  double t = 0.5;  ///< prox threshold
+};
+
+pt::Gen<BackendCase> gen_backend_case() {
+  return [](pt::Rng& rng) {
+    BackendCase c;
+    c.m = std::uniform_int_distribution<roarray::linalg::index_t>(1, 140)(rng);
+    c.n = std::uniform_int_distribution<roarray::linalg::index_t>(1, 36)(rng);
+    c.k = std::uniform_int_distribution<roarray::linalg::index_t>(1, 300)(rng);
+    c.seed = rng();
+    c.t = std::uniform_real_distribution<double>(0.0, 2.0)(rng);
+    return c;
+  };
+}
+
+pt::Shrinker<BackendCase> shrink_backend_case() {
+  return [](const BackendCase& c) {
+    std::vector<BackendCase> out;
+    for (auto dim : {&BackendCase::m, &BackendCase::n, &BackendCase::k}) {
+      if (c.*dim > 1) {
+        BackendCase s = c;
+        s.*dim = std::max<roarray::linalg::index_t>(1, c.*dim / 2);
+        out.push_back(s);
+      }
+    }
+    return out;
+  };
+}
+
+std::string show_backend_case(const BackendCase& c) {
+  std::ostringstream os;
+  os << "m=" << c.m << " n=" << c.n << " k=" << c.k << " seed=" << c.seed
+     << " t=" << c.t;
+  return os.str();
+}
+
+}  // namespace
+
+TEST(ProptestDifferential, SimdBackendMatchesScalar) {
+  namespace be = roarray::linalg::backend;
+  pt::CheckConfig cfg;
+  cfg.cases = 25;
+  pt::check<BackendCase>(
+      "SIMD backend kernels == scalar backend kernels (to rounding)",
+      gen_backend_case(),
+      [](const BackendCase& c) -> std::optional<std::string> {
+        const be::Backend* simd = be::simd();
+        if (simd == nullptr) return std::nullopt;  // nothing to compare
+        pt::Rng mrng(c.seed);
+        const CMat a = pt::gen_cmat(c.m, c.k, mrng);
+        CMat b = pt::gen_cmat(c.k, c.n, mrng);
+        for (index_t i = 0; i < c.k; i += 3) {  // row-sparse like iterates
+          for (index_t j = 0; j < c.n; ++j) b(i, j) = cxd{0.0, 0.0};
+        }
+        const double eps = std::numeric_limits<double>::epsilon();
+        double amax = 0.0, bsum = 0.0;
+        for (index_t j = 0; j < c.k; ++j)
+          for (index_t i = 0; i < c.m; ++i)
+            amax = std::max(amax, std::abs(a(i, j)));
+        for (index_t j = 0; j < c.n; ++j) {
+          double s = 0.0;
+          for (index_t i = 0; i < c.k; ++i) s += std::abs(b(i, j));
+          bsum = std::max(bsum, s);
+        }
+
+        const CMat cs = roarray::linalg::matmul_blocked(a, b, nullptr,
+                                                        &be::scalar());
+        const CMat cv = roarray::linalg::matmul_blocked(a, b, nullptr, simd);
+        // The backend.hpp gemm bound: gamma_k * max|A| * col-sum of |B|.
+        const double gtol =
+            8.0 * eps * static_cast<double>(c.k) * amax * bsum;
+        for (index_t j = 0; j < c.n; ++j) {
+          for (index_t i = 0; i < c.m; ++i) {
+            if (std::abs(cv(i, j) - cs(i, j)) > 2.0 * gtol) {
+              std::ostringstream os;
+              os << "gemm differs at (" << i << "," << j << "): "
+                 << cv(i, j) << " vs " << cs(i, j) << " tol " << gtol;
+              return os.str();
+            }
+          }
+        }
+
+        // Group prox: row_sq_accumulate + row_scale against scalar.
+        CMat ps = cs;
+        CMat pv = cs;
+        roarray::sparse::group_soft_threshold_rows_inplace(ps, c.t,
+                                                           &be::scalar());
+        roarray::sparse::group_soft_threshold_rows_inplace(pv, c.t, simd);
+        for (index_t j = 0; j < c.n; ++j) {
+          for (index_t i = 0; i < c.m; ++i) {
+            const double tol = 32.0 * eps * (std::abs(ps(i, j)) + 1.0);
+            if (std::abs(pv(i, j) - ps(i, j)) > tol) {
+              std::ostringstream os;
+              os << "group prox differs at (" << i << "," << j << ")";
+              return os.str();
+            }
+          }
+        }
+
+        // Elementwise prox on a column (normal-range values only: the
+        // underflow divergence is documented and tested separately).
+        CVec xs(c.m), xv(c.m);
+        for (index_t i = 0; i < c.m; ++i) xs[i] = pt::gen_cxd(mrng);
+        xv = xs;
+        roarray::sparse::soft_threshold_inplace(xs, c.t, &be::scalar());
+        roarray::sparse::soft_threshold_inplace(xv, c.t, simd);
+        for (index_t i = 0; i < c.m; ++i) {
+          if (std::abs(xv[i] - xs[i]) > 8.0 * eps * (std::abs(xs[i]) + 1.0)) {
+            std::ostringstream os;
+            os << "soft_threshold differs at " << i;
+            return os.str();
+          }
+        }
+        return std::nullopt;
+      },
+      shrink_backend_case(), show_backend_case, cfg);
 }
 
 // ---------------------------------------------------------------------------

@@ -20,6 +20,12 @@
 //                   flow into the typed TraceError/ReadStatus machinery,
 //                   so statement-position and (void)-cast calls are
 //                   banned (results used in a condition/assignment pass).
+//   intrinsics      Raw SIMD intrinsics — <immintrin.h>/<arm_neon.h>
+//                   includes, `_mm*`/`__m<N>` identifiers, NEON
+//                   `v*q_f64`-style names — live only in
+//                   src/linalg/backend/. Everything else goes through
+//                   the Backend kernel table, so vector code stays
+//                   behind one dispatch point with a scalar twin.
 //
 // A finding on a specific line can be locally suppressed with a
 // justification comment on that line:
@@ -151,6 +157,7 @@ struct PathScope {
   bool in_src = false;      ///< some directory component is "src".
   bool in_runtime = false;  ///< under a "runtime" component inside src.
   bool in_io = false;       ///< under an "io" component inside src.
+  bool in_backend = false;  ///< under "linalg/backend" inside src.
 };
 
 [[nodiscard]] PathScope classify(const std::string& path) {
@@ -162,6 +169,10 @@ struct PathScope {
       for (std::size_t j = i + 1; j + 1 < parts.size(); ++j) {
         if (parts[j] == "runtime") scope.in_runtime = true;
         if (parts[j] == "io") scope.in_io = true;
+        if (parts[j] == "linalg" && j + 2 < parts.size() &&
+            parts[j + 1] == "backend") {
+          scope.in_backend = true;
+        }
       }
     }
   }
@@ -236,6 +247,38 @@ constexpr ForbiddenToken kDeterminismTokens[] = {
   return words >= 2;
 }
 
+/// True when `code` (already comment/string-stripped) contains a raw
+/// SIMD intrinsic identifier: anything beginning `_mm` (SSE/AVX/AVX-512
+/// calls and masks), `__m<digit>` (the vector register types), or a
+/// NEON-style `v...q_{f,s,u}<width>` / `v...q_lane` name.
+[[nodiscard]] bool has_intrinsic_token(std::string_view code) {
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t e = i;
+    while (e < code.size() && ident_char(code[e])) ++e;
+    const std::string_view id = code.substr(i, e - i);
+    if (starts_with(id, "_mm")) return true;
+    if (starts_with(id, "__m") && id.size() > 3 &&
+        std::isdigit(static_cast<unsigned char>(id[3])) != 0) {
+      return true;
+    }
+    if (id.size() > 6 && id[0] == 'v' &&
+        (id.find("q_f64") != std::string_view::npos ||
+         id.find("q_f32") != std::string_view::npos ||
+         id.find("q_u64") != std::string_view::npos ||
+         id.find("q_s64") != std::string_view::npos ||
+         id.find("q_lane_") != std::string_view::npos)) {
+      return true;
+    }
+    i = e;
+  }
+  return false;
+}
+
 /// Detects an fread/fwrite call whose result is visibly discarded: the
 /// trimmed statement begins with the call itself, optionally behind a
 /// (void) cast. Results consumed by a condition, assignment, or
@@ -277,6 +320,21 @@ void scan_content(const std::string& path, const std::string& content,
     const std::string code = strip_code(raw, in_block);
     const std::string t = trim(code);
     if (t == "#pragma once") saw_pragma_once = true;
+
+    // Applies everywhere the linter looks (src, tests, benches, tools),
+    // with src/linalg/backend/ as the only sanctioned home.
+    if (!scope.in_backend && !suppressed(raw, "intrinsics")) {
+      const bool include_hit =
+          starts_with(t, "#include") &&
+          (t.find("immintrin.h") != std::string::npos ||
+           t.find("arm_neon.h") != std::string::npos);
+      if (include_hit || has_intrinsic_token(code)) {
+        findings.push_back(
+            {path, lineno, "intrinsics",
+             "raw SIMD intrinsics are confined to src/linalg/backend/ "
+             "(add a kernel to the Backend table instead)"});
+      }
+    }
 
     if (scope.in_src) {
       if (!suppressed(raw, "determinism")) {
@@ -462,6 +520,34 @@ struct Fixture {
        "void f(FILE* fp, char* b) {\n"
        "  fread(b, 1, 8, fp);  // roarray-lint: allow(unchecked-io) probe\n"
        "}\n",
+       {}},
+      {"immintrin include flagged outside backend", "src/linalg/gemm.cpp",
+       "#include <immintrin.h>\n", {"intrinsics"}},
+      {"arm_neon include flagged outside backend", "src/dsp/x.cpp",
+       "#include <arm_neon.h>\n", {"intrinsics"}},
+      {"avx call flagged outside backend", "src/sparse/p.cpp",
+       "void f(double* x) {\n  __m256d v = _mm256_loadu_pd(x);\n"
+       "  _mm256_storeu_pd(x, v);\n}\n",
+       {"intrinsics", "intrinsics"}},
+      {"neon call flagged outside backend", "src/channel/c.cpp",
+       "void f(double* x) {\n  auto v = vld1q_f64(x);\n"
+       "  vst1q_f64(x, vfmaq_f64(v, v, v));\n}\n",
+       {"intrinsics", "intrinsics"}},
+      {"intrinsics flagged in tests too", "tests/t.cpp",
+       "void f(double* x) {\n  auto v = _mm_loadu_pd(x);\n  (void)v;\n}\n",
+       {"intrinsics"}},
+      {"intrinsics ok inside backend", "src/linalg/backend/simd_avx2.cpp",
+       "#include <immintrin.h>\n"
+       "void f(double* x) {\n  _mm256_storeu_pd(x, _mm256_setzero_pd());\n}\n",
+       {}},
+      {"intrinsic in comment ok", "src/linalg/gemm.cpp",
+       "// the backend's _mm256_fmadd_pd path handles this\nint f();\n", {}},
+      {"intrinsic in string ok", "src/eval/r.cpp",
+       "const char* k = \"_mm256_fmadd_pd\";\n", {}},
+      {"vector-ish name ok", "src/music/m.cpp",
+       "int vq_f6(int virtq_lanes);\nvoid f(int verify_f64q);\n", {}},
+      {"suppressed intrinsic ok", "src/dsp/y.cpp",
+       "auto v = _mm_pause();  // roarray-lint: allow(intrinsics) spin hint\n",
        {}},
   };
 
