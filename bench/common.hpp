@@ -112,13 +112,19 @@ struct SystemErrors {
 /// Emits the `"machine"` provenance object shared by every bench JSON
 /// artifact: the hardware thread count, the pool width the run actually
 /// used (`pool_threads` — the effective value, after any max()/env
-/// adjustment, not the requested one), and the compute-backend dispatch
-/// decision (requested vs selected kernel table, whether a SIMD TU was
-/// compiled in and whether the CPU supports it, detected CPU features).
-/// Keeping these next to the timings makes BENCH_* trajectories
-/// comparable across machines. Call between key/value pairs of an open
-/// object.
-void emit_machine_provenance(eval::JsonWriter& w, int pool_threads);
+/// adjustment, not the requested one) together with a
+/// `pool_oversubscribed` caveat flag (true when pool_threads >
+/// hardware_threads, i.e. the latency/throughput numbers were taken
+/// with more pool lanes than cores and parallel speedups are not
+/// trustworthy), and the compute-backend dispatch decision (requested
+/// vs selected kernel table, whether a SIMD TU was compiled in and
+/// whether the CPU supports it, detected CPU features). `shards` > 0
+/// additionally records the largest service shard count the run used
+/// (serve benches). Keeping these next to the timings makes BENCH_*
+/// trajectories comparable across machines. Call between key/value
+/// pairs of an open object.
+void emit_machine_provenance(eval::JsonWriter& w, int pool_threads,
+                             int shards = 0);
 
 /// Writes a JSON artifact to `path`: opens the file, hands a JsonWriter
 /// to `body`, then verifies the stream flushed and the writer emitted a

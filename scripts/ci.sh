@@ -88,15 +88,23 @@ esac
 JOBS="${1:-$(nproc)}"
 
 # Records a small trace, replays it through LocalizationService in both
-# serving modes (bench/serve_throughput does the record+replay), and
-# verifies BENCH_serve.json is well-formed with nonzero sustained
-# throughput. Assumes the default preset is already built.
+# serving modes plus a --shards 1,4 ShardedService sweep
+# (bench/serve_throughput does the record+replay), and verifies
+# BENCH_serve.json is well-formed with nonzero sustained throughput and
+# that the dispatchers=0 replay was bit-identical between shards=1 and
+# shards=4 (the replay_shards_identical flag — a hard correctness gate,
+# unlike the scaling numbers). Assumes the default preset is built.
 serve_smoke() {
-  echo "== Serve smoke (record/replay + BENCH_serve.json) =="
+  echo "== Serve smoke (record/replay + shard sweep + BENCH_serve.json) =="
   ./build/bench/serve_throughput --clients 4 --requests 16 --iterations 20 \
-    --threads 4 --record build/BENCH_serve_trace.bin \
+    --shards 1,4 --replay-requests 8 \
+    --record build/BENCH_serve_trace.bin \
     --json build/BENCH_serve.json
   test -s build/BENCH_serve.json
+  grep -q '"replay_shards_identical": true' build/BENCH_serve.json || {
+    echo "serve smoke FAILED: sharded replay not bit-identical" >&2
+    exit 1
+  }
   if command -v python3 >/dev/null 2>&1; then
     python3 - <<'EOF'
 import json
@@ -106,9 +114,19 @@ for mode in ("batch1", "dynamic"):
     rps = report[mode]["sustained_rps"]
     if not rps > 0.0:
         raise SystemExit(f"serve smoke FAILED: {mode}.sustained_rps = {rps}")
+entries = report["shard_scaling"]
+if [e["shards"] for e in entries] != [1, 4]:
+    raise SystemExit("serve smoke FAILED: shard_scaling missing sweep entries")
+for e in entries:
+    if not e["sustained_rps"] > 0.0:
+        raise SystemExit(
+            f"serve smoke FAILED: shards={e['shards']} sustained_rps = "
+            f"{e['sustained_rps']}")
 print("serve smoke: JSON parses,",
       ", ".join(f"{m} {report[m]['sustained_rps']:.1f} req/s"
-                for m in ("batch1", "dynamic")))
+                for m in ("batch1", "dynamic")),
+      "+ shards " + ", ".join(
+          f"{e['shards']}x {e['sustained_rps']:.1f} req/s" for e in entries))
 EOF
   else
     # Fallback without python3: a zero/absent rate never matches.

@@ -1,0 +1,69 @@
+// Per-shard runtime ownership for the sharded serving front end: one
+// OperatorCache per shard over an optional shared ThreadPool.
+//
+// Sticky client routing (serve::ShardedService) only pays off if the
+// per-geometry operators a client's requests warm up stay local to the
+// shard that serves it — a single process-wide cache would put every
+// shard's first-touch construction and map lookups behind one mutex.
+// Each shard therefore owns its cache outright (no cross-shard cache
+// traffic at all), while the ThreadPool stays shared: pool lanes are
+// hardware-bound, and estimate_batch calls from different shards
+// already serialize at the pool's single job slot (DESIGN.md §8).
+//
+// Cache duplication across shards is bounded and cheap: the working
+// set is a handful of (grid, array) combinations and entries are
+// immutable once built, so k shards cost at most k copies of that
+// handful — the price of zero sharing.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "runtime/operator_cache.hpp"
+
+namespace roarray::runtime {
+
+class ShardRuntime {
+ public:
+  /// Builds `shards` independent caches. `shared_pool` is borrowed and
+  /// may be null (shards estimate serially); it must outlive this
+  /// object. Throws std::invalid_argument when shards < 1.
+  explicit ShardRuntime(int shards, ThreadPool* shared_pool = nullptr)
+      : pool_(shared_pool) {
+    if (shards < 1) {
+      throw std::invalid_argument("ShardRuntime: shards must be >= 1");
+    }
+    caches_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      caches_.push_back(std::make_unique<OperatorCache>());
+    }
+  }
+
+  [[nodiscard]] int shards() const noexcept {
+    return static_cast<int>(caches_.size());
+  }
+
+  [[nodiscard]] OperatorCache& cache(int shard) {
+    return *caches_.at(static_cast<std::size_t>(shard));
+  }
+
+  [[nodiscard]] const OperatorCache& cache(int shard) const {
+    return *caches_.at(static_cast<std::size_t>(shard));
+  }
+
+  /// The EstimateContext shard `shard` runs its solves with: that
+  /// shard's private cache plus the shared pool (possibly null).
+  [[nodiscard]] EstimateContext context(int shard) {
+    return {&cache(shard), pool_};
+  }
+
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
+
+ private:
+  std::vector<std::unique_ptr<OperatorCache>> caches_;
+  ThreadPool* pool_;
+};
+
+}  // namespace roarray::runtime

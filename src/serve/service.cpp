@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <stdexcept>
@@ -41,6 +42,9 @@ void ServeConfig::validate() const {
   }
   if (dispatchers < 0) {
     throw std::invalid_argument("ServeConfig: dispatchers must be >= 0");
+  }
+  if (latency_sample_cap < 1) {
+    throw std::invalid_argument("ServeConfig: latency_sample_cap must be >= 1");
   }
   if (!std::isfinite(localize.grid_step_m) || localize.grid_step_m <= 0.0) {
     throw std::invalid_argument(
@@ -242,8 +246,18 @@ void LocalizationService::process_batch(std::vector<Pending> batch,
           break;
       }
       if (r.status != ResponseStatus::kDeadlineExpired) {
-        stats_.latency_ticks.push_back(
-            static_cast<double>(r.done_tick - r.submit_tick));
+        // Bounded ring: grow until latency_sample_cap, then overwrite
+        // the oldest sample (latency_recorded % cap cycles through the
+        // buffer), so a soak run cannot grow memory without limit.
+        const auto cap = static_cast<std::size_t>(cfg_.latency_sample_cap);
+        const double sample = static_cast<double>(r.done_tick - r.submit_tick);
+        if (stats_.latency_ticks.size() < cap) {
+          stats_.latency_ticks.push_back(sample);
+        } else {
+          stats_.latency_ticks[static_cast<std::size_t>(
+              stats_.latency_recorded % cap)] = sample;
+        }
+        ++stats_.latency_recorded;
       }
     }
     if (!batch.empty()) {
@@ -338,6 +352,52 @@ void LocalizationService::stop() {
 ServiceStats LocalizationService::stats() const {
   runtime::MutexLock lk(mutex_);
   return stats_;
+}
+
+index_t LocalizationService::queue_depth() const {
+  runtime::MutexLock lk(mutex_);
+  return static_cast<index_t>(queue_.size());
+}
+
+index_t LocalizationService::load() const {
+  runtime::MutexLock lk(mutex_);
+  return static_cast<index_t>(queue_.size()) +
+         static_cast<index_t>(in_flight_);
+}
+
+std::vector<Transfer> LocalizationService::steal(index_t max_n) {
+  std::vector<Transfer> out;
+  runtime::MutexLock lk(mutex_);
+  while (!queue_.empty() && static_cast<index_t>(out.size()) < max_n) {
+    Pending p = std::move(queue_.back());
+    queue_.pop_back();
+    out.push_back({std::move(p.req), std::move(p.on_done)});
+  }
+  // Popped newest-first; hand them over oldest-first so the receiver
+  // preserves their relative submission order.
+  std::reverse(out.begin(), out.end());
+  stats_.transferred_out += out.size();
+  // Stealing the whole backlog makes this service quiescent: wake any
+  // drain()/stop() waiting for that.
+  if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  return out;
+}
+
+SubmitStatus LocalizationService::submit_transfer(Transfer&& t) {
+  runtime::MutexLock lk(mutex_);
+  if (t.req.submit_tick > now_) now_ = t.req.submit_tick;
+  if (stopping_) {
+    ++stats_.rejected_stopped;
+    return SubmitStatus::kStopped;
+  }
+  Pending p;
+  p.request_id = next_request_id_++;
+  p.req = std::move(t.req);
+  p.on_done = std::move(t.on_done);
+  queue_.push_back(std::move(p));
+  ++stats_.transferred_in;
+  ready_cv_.notify_one();
+  return SubmitStatus::kAccepted;
 }
 
 }  // namespace roarray::serve

@@ -1,0 +1,185 @@
+#include "serve/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace roarray::serve {
+
+void ShardedConfig::validate() const {
+  shard.validate();
+  if (shards < 1) {
+    throw std::invalid_argument("ShardedConfig: shards must be >= 1");
+  }
+  if (admission_depth < 0) {
+    throw std::invalid_argument(
+        "ShardedConfig: admission_depth must be >= 0 (0 = queue_capacity)");
+  }
+  if (steal_min_backlog < 1) {
+    throw std::invalid_argument(
+        "ShardedConfig: steal_min_backlog must be >= 1");
+  }
+}
+
+void accumulate_stats(ServiceStats& into, const ServiceStats& from) {
+  into.accepted += from.accepted;
+  into.rejected_queue_full += from.rejected_queue_full;
+  into.rejected_stopped += from.rejected_stopped;
+  into.rejected_invalid += from.rejected_invalid;
+  into.deadline_dropped += from.deadline_dropped;
+  into.completed_ok += from.completed_ok;
+  into.completed_no_observations += from.completed_no_observations;
+  into.batches += from.batches;
+  into.transferred_out += from.transferred_out;
+  into.transferred_in += from.transferred_in;
+  into.callback_exceptions += from.callback_exceptions;
+  if (into.batch_size_hist.size() < from.batch_size_hist.size()) {
+    into.batch_size_hist.resize(from.batch_size_hist.size(), 0);
+  }
+  for (std::size_t k = 0; k < from.batch_size_hist.size(); ++k) {
+    into.batch_size_hist[k] += from.batch_size_hist[k];
+  }
+  into.latency_ticks.insert(into.latency_ticks.end(),
+                            from.latency_ticks.begin(),
+                            from.latency_ticks.end());
+  into.latency_recorded += from.latency_recorded;
+}
+
+ShardedService::ShardedService(ShardedConfig cfg, runtime::ThreadPool* pool)
+    : cfg_(std::move(cfg)), runtime_(std::max(cfg_.shards, 1), pool) {
+  cfg_.validate();
+  shards_.reserve(static_cast<std::size_t>(cfg_.shards));
+  for (int s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<LocalizationService>(cfg_.shard, runtime_.context(s)));
+  }
+}
+
+ShardedService::~ShardedService() { stop(); }
+
+SubmitStatus ShardedService::submit(Request req, ResponseCallback on_done) {
+  LocalizationService& home = *shards_[static_cast<std::size_t>(
+      shard_of(req.client_id))];
+  const index_t depth = home.queue_depth();
+  if (depth >= admission_limit()) {
+    // Early shed: typed backpressure now beats a deadline miss later.
+    // The shard's clock still advances so linger windows and deadlines
+    // of already-queued requests mature (submit would have done this).
+    shed_admission_.fetch_add(1, std::memory_order_relaxed);
+    home.advance_time(req.submit_tick);
+    if (cfg_.work_stealing) (void)maybe_steal();
+    return SubmitStatus::kQueueFull;
+  }
+  const SubmitStatus st = home.submit(std::move(req), std::move(on_done));
+  if (st == SubmitStatus::kAccepted && cfg_.work_stealing &&
+      depth + 1 > cfg_.steal_min_backlog) {
+    (void)maybe_steal();
+  }
+  return st;
+}
+
+void ShardedService::advance_time(Tick now) {
+  for (auto& s : shards_) s->advance_time(now);
+  if (cfg_.work_stealing) (void)maybe_steal();
+}
+
+bool ShardedService::pump() {
+  bool any = false;
+  for (auto& s : shards_) {
+    const bool did = s->pump();
+    any = any || did;
+  }
+  if (cfg_.work_stealing) (void)maybe_steal();
+  return any;
+}
+
+void ShardedService::drain() {
+  for (;;) {
+    for (auto& s : shards_) s->drain();
+    // A steal can move backlog into a shard that already drained this
+    // sweep; holding router_mutex_ for the idle check excludes
+    // in-progress steals (their popped requests are otherwise invisible
+    // to every shard's load()).
+    bool all_idle = true;
+    {
+      runtime::MutexLock lk(router_mutex_);
+      for (auto& s : shards_) {
+        if (s->load() != 0) {
+          all_idle = false;
+          break;
+        }
+      }
+    }
+    if (all_idle) return;
+  }
+}
+
+void ShardedService::stop() {
+  {
+    runtime::MutexLock lk(router_mutex_);
+    // Any steal that started before this lock acquisition has finished
+    // (maybe_steal holds the lock end to end), and none will start
+    // after: shard shutdown below can never strand a stolen request.
+    stopping_ = true;
+  }
+  for (auto& s : shards_) s->stop();
+}
+
+ShardedStats ShardedService::stats() const {
+  ShardedStats out;
+  out.per_shard.reserve(shards_.size());
+  for (const auto& s : shards_) out.per_shard.push_back(s->stats());
+  for (const ServiceStats& s : out.per_shard) {
+    accumulate_stats(out.aggregate, s);
+  }
+  {
+    runtime::MutexLock lk(router_mutex_);
+    out.steal_events = steal_events_;
+    out.stolen_requests = stolen_requests_;
+  }
+  out.shed_admission = shed_admission_.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool ShardedService::maybe_steal() {
+  if (shards_.size() < 2) return false;
+  runtime::MutexLock lk(router_mutex_);
+  if (stopping_) return false;
+  int thief = -1;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->load() == 0) {
+      thief = static_cast<int>(i);
+      break;
+    }
+  }
+  if (thief < 0) return false;
+  int victim = -1;
+  index_t deepest = cfg_.steal_min_backlog;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const index_t depth = shards_[i]->queue_depth();
+    if (depth > deepest) {
+      deepest = depth;
+      victim = static_cast<int>(i);
+    }
+  }
+  if (victim < 0) return false;
+  std::vector<Transfer> moved =
+      shards_[static_cast<std::size_t>(victim)]->steal((deepest + 1) / 2);
+  if (moved.empty()) return false;
+  for (Transfer& t : moved) {
+    // Cannot fail: shards stop only after stopping_ is set under
+    // router_mutex_, which this pass holds. submit_transfer leaves `t`
+    // intact on refusal, so the defensive fallback hands the same
+    // request back to the victim rather than dropping its callback.
+    if (shards_[static_cast<std::size_t>(thief)]->submit_transfer(
+            std::move(t)) != SubmitStatus::kAccepted) {
+      (void)shards_[static_cast<std::size_t>(victim)]->submit_transfer(
+          std::move(t));
+    }
+  }
+  ++steal_events_;
+  stolen_requests_ += moved.size();
+  return true;
+}
+
+}  // namespace roarray::serve

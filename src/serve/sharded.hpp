@@ -1,0 +1,183 @@
+// Multi-shard serving front end: N independent LocalizationService
+// shards behind one router, scaling the in-process serving story
+// horizontally while keeping every per-shard invariant of service.hpp
+// intact.
+//
+//   * Sticky routing. A client's requests always land on
+//     shard_of(client_id) — a pure splitmix64 hash, stable across
+//     process restarts — so the per-geometry operators its solves warm
+//     up stay hot in that shard's private OperatorCache
+//     (runtime::ShardRuntime owns one cache per shard).
+//   * Queue-depth admission control. A submission whose home shard
+//     already holds admission_depth queued requests is shed
+//     immediately with kQueueFull — typed backpressure the client sees
+//     in microseconds — instead of being admitted into a queue deep
+//     enough that it (or its neighbors) would blow a logical-tick
+//     deadline later.
+//   * Work stealing. When a shard goes idle while another has backlog
+//     beyond steal_min_backlog, the router moves roughly half of the
+//     victim's queue (newest entries) to the idle shard. Per-request
+//     results are grouping- and shard-independent (estimates are
+//     per-burst deterministic and fusion weights are request-local),
+//     so a stolen request completes bit-identically to a non-stolen
+//     one; stealing trades cache affinity for utilization, never
+//     correctness.
+//   * Determinism. With shard.dispatchers == 0 the caller drives every
+//     shard through pump()/drain() on one thread; routing, stealing,
+//     and batch formation are all pure functions of the submission/
+//     tick sequence, and per-request results are bit-identical to the
+//     single-service pump/drain path for any shard count (the
+//     ShardedReplayMatchesSingleService property pins this).
+//
+// Lock order (DESIGN.md §8): router_mutex_ sits strictly above every
+// shard's leaf mutex_. It is held only across queue-depth queries and
+// queue transfers — never across estimation, localization, or user
+// callbacks — so the global lock graph stays acyclic:
+// router → shard-leaf, and (inside a shard's batch processing)
+// pool call_mutex_ → pool mutex_.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/seed.hpp"
+#include "runtime/shard_context.hpp"
+#include "runtime/thread_annotations.hpp"
+#include "serve/service.hpp"
+
+namespace roarray::serve {
+
+struct ShardedConfig {
+  /// Per-shard service configuration. dispatchers is the thread count
+  /// PER SHARD (0 keeps every shard in deterministic manual mode);
+  /// queue_capacity and latency_sample_cap are likewise per shard.
+  ServeConfig shard;
+  int shards = 1;
+  /// Early-shed bound: a submission finding this many requests already
+  /// queued on its home shard is rejected kQueueFull by the router
+  /// before touching the shard. 0 = use shard.queue_capacity (shed
+  /// only when the shard itself would reject). Values above
+  /// shard.queue_capacity are legal but ineffective (the shard's own
+  /// bound hits first).
+  index_t admission_depth = 0;
+  /// Move backlog from a shard with more than this many queued
+  /// requests to an idle shard. Meaningful only with work_stealing.
+  index_t steal_min_backlog = 2;
+  bool work_stealing = true;
+
+  /// Throws std::invalid_argument on nonsense (delegates to
+  /// shard.validate(), then checks the sharding knobs).
+  void validate() const;
+};
+
+/// Per-shard snapshots plus their exact field-wise sum, taken in one
+/// call so the two views reconcile: every aggregate counter equals the
+/// sum of the per_shard counters (the test suite pins this), and
+/// aggregate.latency_ticks is the concatenation in shard order.
+struct ShardedStats {
+  std::vector<ServiceStats> per_shard;
+  ServiceStats aggregate;
+  /// Router-level counters (not part of any shard's stats): requests
+  /// shed by admission control, steal events, and requests moved.
+  std::uint64_t shed_admission = 0;
+  std::uint64_t steal_events = 0;
+  std::uint64_t stolen_requests = 0;
+};
+
+/// Field-wise accumulation used to build ShardedStats::aggregate;
+/// exposed so tests can reconcile independently. Histograms are added
+/// index-wise (the longer size wins), latency samples are appended and
+/// latency_recorded summed.
+void accumulate_stats(ServiceStats& into, const ServiceStats& from);
+
+class ShardedService {
+ public:
+  /// Validates `cfg` (throws std::invalid_argument), builds cfg.shards
+  /// LocalizationService instances each owning a private OperatorCache
+  /// over the optional shared `pool` (borrowed; may be null).
+  explicit ShardedService(ShardedConfig cfg,
+                          runtime::ThreadPool* pool = nullptr);
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Drains and stops (same as stop()).
+  ~ShardedService();
+
+  /// Home shard of a client: splitmix64(client_id) mod shards. Pure —
+  /// identical across instances, restarts, and machines.
+  [[nodiscard]] int shard_of(std::uint64_t client_id) const noexcept {
+    return static_cast<int>(runtime::mix_seed(client_id) %
+                            static_cast<std::uint64_t>(shards_.size()));
+  }
+
+  /// Routes to the home shard. Sheds kQueueFull when the shard's queue
+  /// depth is at or beyond admission_depth (checked before validation —
+  /// overload is decided on the cheapest signal first; the home
+  /// shard's clock still advances to req.submit_tick). Otherwise
+  /// delegates to LocalizationService::submit. May trigger a steal
+  /// pass when the home shard is backlogged.
+  SubmitStatus submit(Request req, ResponseCallback on_done)
+      ROARRAY_EXCLUDES(router_mutex_);
+
+  /// Broadcasts the tick to every shard (per-shard clocks also advance
+  /// via their own submissions), then runs a steal pass so a shard
+  /// idled by the new tick picks up backlog.
+  void advance_time(Tick now) ROARRAY_EXCLUDES(router_mutex_);
+
+  /// Manual-mode step: pumps every shard once in shard order, then
+  /// runs a steal pass. Returns true when any shard processed a batch.
+  /// Deterministic with shard.dispatchers == 0.
+  bool pump() ROARRAY_EXCLUDES(router_mutex_);
+
+  /// Blocks until every shard is simultaneously quiescent (re-checking
+  /// after each sweep because a steal can move work into a shard that
+  /// already drained). Keeps accepting submissions, like the per-shard
+  /// drain.
+  void drain() ROARRAY_EXCLUDES(router_mutex_);
+
+  /// Graceful shutdown: disables stealing, then stops every shard (each
+  /// completes its admitted requests). Idempotent; called by the
+  /// destructor.
+  void stop() ROARRAY_EXCLUDES(router_mutex_);
+
+  [[nodiscard]] ShardedStats stats() const ROARRAY_EXCLUDES(router_mutex_);
+  [[nodiscard]] int num_shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] const ShardedConfig& config() const noexcept { return cfg_; }
+  /// Read-only access to one shard (tests and benches).
+  [[nodiscard]] const LocalizationService& shard(int i) const {
+    return *shards_.at(static_cast<std::size_t>(i));
+  }
+
+ private:
+  /// One steal pass: if some shard is idle and another holds more than
+  /// steal_min_backlog queued requests, move about half of the victim's
+  /// backlog to the idle shard. No-op while stopping (stop() acquires
+  /// router_mutex_ after flipping stopping_, so an in-progress steal
+  /// always finishes before any shard shuts down — submit_transfer can
+  /// never hit a stopped shard). Returns true when requests moved.
+  bool maybe_steal() ROARRAY_EXCLUDES(router_mutex_);
+
+  [[nodiscard]] index_t admission_limit() const noexcept {
+    return cfg_.admission_depth > 0 ? cfg_.admission_depth
+                                    : cfg_.shard.queue_capacity;
+  }
+
+  const ShardedConfig cfg_;
+  runtime::ShardRuntime runtime_;
+  std::vector<std::unique_ptr<LocalizationService>> shards_;
+
+  mutable runtime::Mutex router_mutex_;
+  bool stopping_ ROARRAY_GUARDED_BY(router_mutex_) = false;
+  std::uint64_t steal_events_ ROARRAY_GUARDED_BY(router_mutex_) = 0;
+  std::uint64_t stolen_requests_ ROARRAY_GUARDED_BY(router_mutex_) = 0;
+  /// Router-level shed counter; atomic so the submit fast path never
+  /// touches router_mutex_.
+  std::atomic<std::uint64_t> shed_admission_{0};
+};
+
+}  // namespace roarray::serve

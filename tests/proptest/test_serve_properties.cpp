@@ -1,0 +1,376 @@
+// Serve-layer properties.
+//
+// Differential: ShardedReplayMatchesSingleService — any generated
+// workload pushed through ShardedService{k, dispatchers = 0} in
+// deterministic pump/drain mode produces per-submission responses
+// bit-identical to a single LocalizationService{dispatchers = 0} run
+// of the same submissions, for k in {1, 2, 4}. Routing, admission
+// order, work stealing, and batch grouping all vary with k; results
+// must not (DESIGN.md §10 replay-determinism contract).
+//
+// Concurrent: randomized submitter threads against a dispatcher-mode
+// ShardedService over a shared pool — the leg the TSan build
+// instruments. Accounting invariants (callbacks == completions ==
+// accepted net of transfers; transfer conservation) are checked after
+// stop(); threads only touch atomics, never gtest asserts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "channel/csi.hpp"
+#include "channel/multipath.hpp"
+#include "proptest.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/service.hpp"
+#include "serve/sharded.hpp"
+
+namespace pt = roarray::proptest;
+
+namespace roarray {
+namespace {
+
+/// Small per-shard configuration (mirrors tests/serve): coarse grids,
+/// few iterations, two APs — one solve costs a few milliseconds.
+serve::ServeConfig tiny_serve_config(int dispatchers) {
+  serve::ServeConfig cfg;
+  cfg.estimator.aoa_grid = dsp::Grid(0.0, 180.0, 19);
+  cfg.estimator.toa_grid = dsp::Grid(0.0, 784e-9, 8);
+  cfg.estimator.solver.max_iterations = 30;
+  cfg.localize.grid_step_m = 0.5;
+  cfg.ap_poses = {{{0.0, 6.0}, 90.0}, {{18.0, 6.0}, 90.0}};
+  cfg.dispatchers = dispatchers;
+  return cfg;
+}
+
+/// One clean-channel request; all case randomness is folded into
+/// `seed` so the request can be re-synthesized identically in every
+/// service run of the same case.
+serve::Request seeded_request(std::uint64_t client_id, serve::Tick tick,
+                              std::uint64_t seed) {
+  channel::Path direct;
+  direct.aoa_deg = 100.0;
+  direct.toa_s = 60e-9;
+  direct.gain = {1.0, 0.0};
+  std::mt19937_64 rng(seed);
+  serve::Request req;
+  req.client_id = client_id;
+  req.submit_tick = tick;
+  for (std::uint32_t ap = 0; ap < 2; ++ap) {
+    serve::ApSubmission sub;
+    sub.ap_id = ap;
+    linalg::CMat csi = channel::synthesize_csi({direct}, dsp::ArrayConfig{});
+    (void)channel::add_noise(csi, 20.0, rng);
+    sub.packets.push_back(std::move(csi));
+    req.aps.push_back(std::move(sub));
+  }
+  return req;
+}
+
+/// Exact bit pattern of every numeric response field, in a fixed
+/// order, so replays compare with operator==.
+std::vector<std::uint64_t> response_bits(const serve::Response& r) {
+  std::vector<std::uint64_t> bits;
+  auto push_double = [&bits](double d) {
+    std::uint64_t u = 0;
+    static_assert(sizeof(u) == sizeof(d));
+    std::memcpy(&u, &d, sizeof(u));
+    bits.push_back(u);
+  };
+  bits.push_back(static_cast<std::uint64_t>(r.status));
+  bits.push_back(r.client_id);
+  bits.push_back(r.location.valid ? 1u : 0u);
+  push_double(r.location.position.x);
+  push_double(r.location.position.y);
+  push_double(r.location.cost);
+  for (const serve::ApEstimate& ae : r.ap_estimates) {
+    bits.push_back(ae.ap_id);
+    bits.push_back(ae.valid ? 1u : 0u);
+    push_double(ae.aoa_deg);
+    push_double(ae.toa_s);
+    push_double(ae.power);
+    push_double(ae.weight);
+  }
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// Differential: sharded pump/drain replay vs the single service.
+
+struct Submission {
+  std::uint64_t client_id = 0;
+  serve::Tick tick = 0;
+  std::uint64_t seed = 0;
+};
+
+struct ServeWorkload {
+  std::vector<Submission> subs;
+  int pump_every = 2;        ///< pump() after every this-many submissions.
+  int steal_min_backlog = 1;
+};
+
+pt::Gen<ServeWorkload> workload_gen() {
+  return [](pt::Rng& rng) {
+    ServeWorkload w;
+    std::uniform_int_distribution<int> n_dist(1, 6);
+    std::uniform_int_distribution<std::uint64_t> client_dist(0, 7);
+    std::uniform_int_distribution<serve::Tick> gap_dist(0, 3);
+    std::uniform_int_distribution<int> pump_dist(1, 4);
+    std::uniform_int_distribution<int> backlog_dist(1, 3);
+    const int n = n_dist(rng);
+    serve::Tick tick = 0;
+    for (int i = 0; i < n; ++i) {
+      tick += gap_dist(rng);  // non-decreasing logical time
+      w.subs.push_back({client_dist(rng), tick, rng()});
+    }
+    w.pump_every = pump_dist(rng);
+    w.steal_min_backlog = backlog_dist(rng);
+    return w;
+  };
+}
+
+/// Shrink by dropping one submission at a time, then by pumping after
+/// every submission (the simplest interleaving).
+pt::Shrinker<ServeWorkload> workload_shrinker() {
+  return [](const ServeWorkload& w) {
+    std::vector<ServeWorkload> out;
+    for (std::size_t i = 0; i < w.subs.size(); ++i) {
+      ServeWorkload c = w;
+      c.subs.erase(c.subs.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!c.subs.empty()) out.push_back(std::move(c));
+    }
+    if (w.pump_every != 1) {
+      ServeWorkload c = w;
+      c.pump_every = 1;
+      out.push_back(std::move(c));
+    }
+    return out;
+  };
+}
+
+pt::Show<ServeWorkload> workload_show() {
+  return [](const ServeWorkload& w) {
+    std::ostringstream os;
+    os << "pump_every=" << w.pump_every
+       << " steal_min_backlog=" << w.steal_min_backlog << " subs=[";
+    for (const Submission& s : w.subs) {
+      os << "(c" << s.client_id << ",t" << s.tick << ",s" << s.seed << ")";
+    }
+    os << "]";
+    return os.str();
+  };
+}
+
+/// Runs the workload through `svc` (single or sharded — same surface),
+/// pumping at the workload's cadence, and returns the per-submission
+/// fingerprints. Every submission must be accepted (queue capacities
+/// are far above the generated sizes).
+template <typename Service>
+std::optional<std::string> run_workload(
+    Service& svc, const ServeWorkload& w,
+    std::vector<std::vector<std::uint64_t>>& slots) {
+  slots.assign(w.subs.size(), {});
+  for (std::size_t i = 0; i < w.subs.size(); ++i) {
+    const Submission& s = w.subs[i];
+    auto* slot = &slots[i];
+    const serve::SubmitStatus st = svc.submit(
+        seeded_request(s.client_id, s.tick, s.seed),
+        [slot](const serve::Response& r) { *slot = response_bits(r); });
+    if (st != serve::SubmitStatus::kAccepted) {
+      return std::string("submission ") + std::to_string(i) + " rejected: " +
+             serve::submit_status_name(st);
+    }
+    if ((i + 1) % static_cast<std::size_t>(w.pump_every) == 0) {
+      (void)svc.pump();
+    }
+  }
+  svc.drain();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].empty()) {
+      return std::string("submission ") + std::to_string(i) +
+             " never completed";
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(ServeProperties, ShardedReplayMatchesSingleService) {
+  pt::CheckConfig cfg;
+  cfg.cases = 6;  // each case runs 4 full service replays
+  pt::check<ServeWorkload>(
+      "sharded pump/drain replay is bit-identical to the single service",
+      workload_gen(),
+      [](const ServeWorkload& w) -> std::optional<std::string> {
+        std::vector<std::vector<std::uint64_t>> reference;
+        {
+          serve::LocalizationService svc(tiny_serve_config(0));
+          if (auto err = run_workload(svc, w, reference)) {
+            return "single service: " + *err;
+          }
+        }
+        for (const int k : {1, 2, 4}) {
+          serve::ShardedConfig scfg;
+          scfg.shard = tiny_serve_config(0);
+          scfg.shards = k;
+          scfg.steal_min_backlog = w.steal_min_backlog;
+          serve::ShardedService svc(scfg);
+          std::vector<std::vector<std::uint64_t>> got;
+          if (auto err = run_workload(svc, w, got)) {
+            return "shards=" + std::to_string(k) + ": " + *err;
+          }
+          for (std::size_t i = 0; i < reference.size(); ++i) {
+            if (got[i] != reference[i]) {
+              return "shards=" + std::to_string(k) + ": submission " +
+                     std::to_string(i) +
+                     " differs bitwise from the single-service result";
+            }
+          }
+        }
+        return std::nullopt;
+      },
+      workload_shrinker(), workload_show(), cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent submitters against dispatcher-mode shards (TSan target).
+
+struct ConcurrentPlan {
+  int submitters = 2;        ///< 2..3 threads.
+  int per_thread = 2;        ///< 2..4 submissions each.
+  int shards = 2;
+  linalg::index_t admission_depth = 0;  ///< 0 = shed only at queue capacity.
+  std::uint64_t seed = 1;
+};
+
+pt::Gen<ConcurrentPlan> concurrent_gen() {
+  return [](pt::Rng& rng) {
+    ConcurrentPlan p;
+    std::uniform_int_distribution<int> threads_dist(2, 3);
+    std::uniform_int_distribution<int> per_dist(2, 4);
+    std::uniform_int_distribution<int> shards_dist(1, 3);
+    std::uniform_int_distribution<int> depth_dist(0, 2);
+    p.submitters = threads_dist(rng);
+    p.per_thread = per_dist(rng);
+    p.shards = shards_dist(rng);
+    p.admission_depth = depth_dist(rng);
+    p.seed = rng();
+    return p;
+  };
+}
+
+pt::Show<ConcurrentPlan> concurrent_show() {
+  return [](const ConcurrentPlan& p) {
+    std::ostringstream os;
+    os << "submitters=" << p.submitters << " per_thread=" << p.per_thread
+       << " shards=" << p.shards << " admission_depth=" << p.admission_depth
+       << " seed=" << p.seed;
+    return os.str();
+  };
+}
+
+TEST(ServeProperties, ConcurrentShardedSubmitAccountsForEveryRequest) {
+  pt::CheckConfig cfg;
+  cfg.cases = 4;  // each case spawns threads and real dispatcher shards
+  pt::check<ConcurrentPlan>(
+      "concurrent sharded submit: exactly-once callbacks and conserved "
+      "transfer accounting",
+      concurrent_gen(),
+      [](const ConcurrentPlan& p) -> std::optional<std::string> {
+        serve::ShardedConfig scfg;
+        scfg.shard = tiny_serve_config(1);
+        scfg.shard.queue_capacity = 64;
+        scfg.shards = p.shards;
+        scfg.admission_depth = p.admission_depth;
+        runtime::ThreadPool pool(2);
+
+        // Pre-synthesize every request so submitter threads only move
+        // data and touch atomics.
+        std::vector<std::vector<serve::Request>> plans(
+            static_cast<std::size_t>(p.submitters));
+        for (int t = 0; t < p.submitters; ++t) {
+          for (int i = 0; i < p.per_thread; ++i) {
+            const auto id =
+                static_cast<std::uint64_t>(t * p.per_thread + i);
+            plans[static_cast<std::size_t>(t)].push_back(seeded_request(
+                id, static_cast<serve::Tick>(i), p.seed + id));
+          }
+        }
+
+        std::atomic<std::uint64_t> accepted{0};
+        std::atomic<std::uint64_t> shed{0};
+        std::atomic<std::uint64_t> callbacks{0};
+        std::atomic<std::uint64_t> unexpected{0};
+        serve::ShardedService svc(scfg, &pool);
+        {
+          std::vector<std::thread> threads;
+          for (int t = 0; t < p.submitters; ++t) {
+            threads.emplace_back([&, t] {
+              for (serve::Request& req : plans[static_cast<std::size_t>(t)]) {
+                const auto st = svc.submit(
+                    std::move(req), [&callbacks](const serve::Response&) {
+                      callbacks.fetch_add(1, std::memory_order_relaxed);
+                    });
+                if (st == serve::SubmitStatus::kAccepted) {
+                  accepted.fetch_add(1, std::memory_order_relaxed);
+                } else if (st == serve::SubmitStatus::kQueueFull) {
+                  shed.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  unexpected.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+            });
+          }
+          for (auto& t : threads) t.join();
+        }
+        svc.stop();
+
+        const auto total =
+            static_cast<std::uint64_t>(p.submitters * p.per_thread);
+        if (unexpected.load() != 0) {
+          return "submit returned a status other than accepted/queue-full";
+        }
+        if (accepted.load() + shed.load() != total) {
+          return "accepted + shed != submitted";
+        }
+        if (callbacks.load() != accepted.load()) {
+          return "callbacks (" + std::to_string(callbacks.load()) +
+                 ") != accepted (" + std::to_string(accepted.load()) + ")";
+        }
+        const serve::ShardedStats stats = svc.stats();
+        if (stats.aggregate.accepted != accepted.load()) {
+          return "aggregate.accepted disagrees with the submitters";
+        }
+        if (stats.aggregate.completed_ok +
+                stats.aggregate.completed_no_observations !=
+            accepted.load()) {
+          return "aggregate completions != accepted";
+        }
+        if (stats.aggregate.transferred_in != stats.aggregate.transferred_out) {
+          return "transfer accounting not conserved across shards";
+        }
+        if (stats.aggregate.transferred_out != stats.stolen_requests) {
+          return "router stolen_requests disagrees with shard transfers";
+        }
+        // Per-shard quiescence: completed == accepted net of transfers.
+        for (std::size_t s = 0; s < stats.per_shard.size(); ++s) {
+          const serve::ServiceStats& st = stats.per_shard[s];
+          if (st.completed_ok + st.completed_no_observations !=
+              st.accepted - st.transferred_out + st.transferred_in) {
+            return "shard " + std::to_string(s) +
+                   " completion accounting broken";
+          }
+        }
+        return std::nullopt;
+      },
+      /*shrink=*/{}, concurrent_show(), cfg);
+}
+
+}  // namespace
+}  // namespace roarray

@@ -96,6 +96,11 @@ TEST(ServeConfigValidation, RejectsNonsenseValues) {
     cfg.array.num_antennas = 0;
     EXPECT_THROW(cfg.validate(), std::invalid_argument);
   }
+  {
+    serve::ServeConfig cfg = small_config(0);
+    cfg.latency_sample_cap = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
   EXPECT_NO_THROW(small_config(0).validate());
 }
 
@@ -269,6 +274,33 @@ TEST(ServeDeadline, FreshRequestInSameQueueStillCompletes) {
   EXPECT_EQ(got[0].client_id, 2u);
   EXPECT_EQ(got[1].status, serve::ResponseStatus::kDeadlineExpired);
   EXPECT_EQ(got[1].client_id, 1u);
+}
+
+TEST(ServeStats, LatencySamplesAreABoundedRing) {
+  // latency_ticks must never outgrow latency_sample_cap no matter how
+  // many requests complete (a soak run cannot inflate service memory);
+  // latency_recorded keeps the true total, and the ring overwrites
+  // oldest-first so the surviving samples are the most recent ones.
+  serve::ServeConfig cfg = small_config(0);
+  cfg.latency_sample_cap = 4;
+  serve::LocalizationService svc(cfg);
+  for (std::uint64_t c = 0; c < 10; ++c) {
+    // Submit at tick c, complete at tick c + 1 + c: latency = 1 + c.
+    ASSERT_EQ(svc.submit(clean_request(c, c), {}),
+              serve::SubmitStatus::kAccepted);
+    svc.advance_time(2 * c + 1);
+    ASSERT_TRUE(svc.pump());
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed_ok, 10u);
+  EXPECT_EQ(stats.latency_recorded, 10u);
+  ASSERT_EQ(stats.latency_ticks.size(), 4u);
+  // Samples 1..10 were taken; the ring (cap 4) holds the last four
+  // {7,8,9,10} with the write cursor at latency_recorded % cap.
+  EXPECT_EQ(stats.latency_ticks[0], 9.0);
+  EXPECT_EQ(stats.latency_ticks[1], 10.0);
+  EXPECT_EQ(stats.latency_ticks[2], 7.0);
+  EXPECT_EQ(stats.latency_ticks[3], 8.0);
 }
 
 TEST(ServeResponses, ValidRequestLocalizesWithPerApEstimates) {

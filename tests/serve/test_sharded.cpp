@@ -1,0 +1,345 @@
+// ShardedService behavior: config validation, sticky-routing
+// determinism across instances/restarts, bit-identical results under
+// work stealing, early admission shedding (typed kQueueFull before any
+// deadline can expire), drain/stop idempotence across shards, and
+// exact per-shard vs aggregate stats reconciliation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "channel/csi.hpp"
+#include "runtime/seed.hpp"
+#include "serve/service.hpp"
+#include "serve/sharded.hpp"
+
+namespace roarray {
+namespace {
+
+using testing::make_rng;
+
+/// Small, fast per-shard configuration (mirrors test_service.cpp).
+serve::ServeConfig small_shard_config(int dispatchers) {
+  serve::ServeConfig cfg;
+  cfg.estimator.aoa_grid = dsp::Grid(0.0, 180.0, 19);
+  cfg.estimator.toa_grid = dsp::Grid(0.0, 784e-9, 8);
+  cfg.estimator.solver.max_iterations = 40;
+  cfg.localize.grid_step_m = 0.5;
+  cfg.ap_poses = {{{0.0, 6.0}, 90.0}, {{18.0, 6.0}, 90.0}};
+  cfg.dispatchers = dispatchers;
+  return cfg;
+}
+
+serve::ShardedConfig sharded_config(int shards, int dispatchers) {
+  serve::ShardedConfig cfg;
+  cfg.shard = small_shard_config(dispatchers);
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// A request with a clean synthesized one-path channel; `seed` varies
+/// the noise so different clients produce different (still valid)
+/// responses, making bitwise comparisons meaningful.
+serve::Request clean_request(std::uint64_t client_id, serve::Tick tick,
+                             std::uint64_t seed = 3) {
+  channel::Path direct;
+  direct.aoa_deg = 100.0;
+  direct.toa_s = 60e-9;
+  direct.gain = {1.0, 0.0};
+  auto rng = make_rng(seed);
+  serve::Request req;
+  req.client_id = client_id;
+  req.submit_tick = tick;
+  for (std::uint32_t ap = 0; ap < 2; ++ap) {
+    serve::ApSubmission sub;
+    sub.ap_id = ap;
+    for (int p = 0; p < 2; ++p) {
+      linalg::CMat csi = channel::synthesize_csi({direct}, dsp::ArrayConfig{});
+      channel::add_noise(csi, 20.0, rng);
+      sub.packets.push_back(std::move(csi));
+    }
+    req.aps.push_back(std::move(sub));
+  }
+  return req;
+}
+
+/// First `n` client ids whose home shard (splitmix64 mod `shards`) is
+/// shard 0 — lets a test pile every submission onto one shard.
+std::vector<std::uint64_t> clients_on_shard0(int shards, int n) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t id = 0; static_cast<int>(out.size()) < n; ++id) {
+    if (runtime::mix_seed(id) % static_cast<std::uint64_t>(shards) == 0) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+/// Bitwise response equality (EXPECT_EQ on doubles is exact).
+void expect_identical(const serve::Response& a, const serve::Response& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.client_id, b.client_id);
+  EXPECT_EQ(a.location.valid, b.location.valid);
+  EXPECT_EQ(a.location.position.x, b.location.position.x);
+  EXPECT_EQ(a.location.position.y, b.location.position.y);
+  EXPECT_EQ(a.location.cost, b.location.cost);
+  ASSERT_EQ(a.ap_estimates.size(), b.ap_estimates.size());
+  for (std::size_t i = 0; i < a.ap_estimates.size(); ++i) {
+    EXPECT_EQ(a.ap_estimates[i].ap_id, b.ap_estimates[i].ap_id);
+    EXPECT_EQ(a.ap_estimates[i].valid, b.ap_estimates[i].valid);
+    EXPECT_EQ(a.ap_estimates[i].aoa_deg, b.ap_estimates[i].aoa_deg);
+    EXPECT_EQ(a.ap_estimates[i].toa_s, b.ap_estimates[i].toa_s);
+    EXPECT_EQ(a.ap_estimates[i].power, b.ap_estimates[i].power);
+    EXPECT_EQ(a.ap_estimates[i].weight, b.ap_estimates[i].weight);
+  }
+}
+
+TEST(ShardedConfigValidation, RejectsNonsenseValues) {
+  {
+    serve::ShardedConfig cfg = sharded_config(0, 0);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    serve::ShardedConfig cfg = sharded_config(2, 0);
+    cfg.admission_depth = -1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    serve::ShardedConfig cfg = sharded_config(2, 0);
+    cfg.steal_min_backlog = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    // Delegates to the per-shard validation.
+    serve::ShardedConfig cfg = sharded_config(2, 0);
+    cfg.shard.max_batch = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  EXPECT_NO_THROW(sharded_config(4, 0).validate());
+  // The constructor validates too.
+  EXPECT_THROW(serve::ShardedService(sharded_config(-3, 0)),
+               std::invalid_argument);
+}
+
+TEST(ShardedRouting, StickyHashIsStableAcrossInstancesAndRestarts) {
+  // shard_of is a pure hash: two independently constructed services
+  // (standing in for two processes, or one process restarted) must
+  // route every client identically, and the hash must spread clients
+  // over all shards.
+  serve::ShardedService a(sharded_config(4, 0));
+  serve::ShardedService b(sharded_config(4, 0));
+  std::vector<int> hits(4, 0);
+  for (std::uint64_t id = 0; id < 256; ++id) {
+    const int home = a.shard_of(id);
+    ASSERT_GE(home, 0);
+    ASSERT_LT(home, 4);
+    EXPECT_EQ(home, b.shard_of(id));
+    ++hits[static_cast<std::size_t>(home)];
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GT(hits[static_cast<std::size_t>(s)], 0)
+        << "shard " << s << " never chosen over 256 clients";
+  }
+}
+
+TEST(ShardedRouting, SubmissionLandsOnHomeShard) {
+  serve::ShardedConfig cfg = sharded_config(4, 0);
+  cfg.work_stealing = false;  // keep the request where routing put it
+  serve::ShardedService svc(cfg);
+  const std::uint64_t client = 11;
+  const int home = svc.shard_of(client);
+  ASSERT_EQ(svc.submit(clean_request(client, 0), {}),
+            serve::SubmitStatus::kAccepted);
+  for (int s = 0; s < svc.num_shards(); ++s) {
+    EXPECT_EQ(svc.shard(s).stats().accepted, s == home ? 1u : 0u);
+  }
+  svc.drain();
+  EXPECT_EQ(svc.shard(home).stats().completed_ok, 1u);
+}
+
+TEST(ShardedStealing, StolenWorkCompletesBitIdenticallyElsewhere) {
+  // Pile five clients onto shard 0 of a two-shard service with an
+  // aggressive steal threshold: the idle shard 1 must pick up backlog,
+  // and every response must be bit-identical to a single-service run
+  // of the same submissions (results are shard- and grouping-
+  // independent).
+  const auto clients = clients_on_shard0(2, 5);
+
+  std::map<std::uint64_t, serve::Response> single;
+  {
+    serve::LocalizationService svc(small_shard_config(0));
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const std::uint64_t c = clients[i];
+      ASSERT_EQ(svc.submit(clean_request(c, static_cast<serve::Tick>(i),
+                                        /*seed=*/c + 10),
+                           [&, c](const serve::Response& r) { single[c] = r; }),
+                serve::SubmitStatus::kAccepted);
+    }
+    svc.drain();
+  }
+  ASSERT_EQ(single.size(), clients.size());
+
+  serve::ShardedConfig cfg = sharded_config(2, 0);
+  cfg.steal_min_backlog = 1;
+  serve::ShardedService svc(cfg);
+  std::map<std::uint64_t, serve::Response> sharded;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const std::uint64_t c = clients[i];
+    ASSERT_EQ(svc.shard_of(c), 0);
+    ASSERT_EQ(svc.submit(clean_request(c, static_cast<serve::Tick>(i),
+                                      /*seed=*/c + 10),
+                         [&, c](const serve::Response& r) { sharded[c] = r; }),
+              serve::SubmitStatus::kAccepted);
+  }
+  svc.drain();
+
+  const serve::ShardedStats stats = svc.stats();
+  EXPECT_GT(stats.stolen_requests, 0u) << "backlog never moved to shard 1";
+  EXPECT_GT(stats.steal_events, 0u);
+  // Transfer accounting: everything out of shard 0 went into shard 1,
+  // and the router counted exactly the moved requests.
+  EXPECT_EQ(stats.per_shard[0].transferred_out, stats.stolen_requests);
+  EXPECT_EQ(stats.per_shard[1].transferred_in, stats.stolen_requests);
+  EXPECT_EQ(stats.per_shard[1].accepted, 0u);  // routing never sent one there
+  EXPECT_GT(stats.per_shard[1].completed_ok, 0u);  // but it completed some
+  // Quiescence invariant, per shard and in aggregate:
+  //   completed == accepted - transferred_out + transferred_in.
+  for (const serve::ServiceStats& s : stats.per_shard) {
+    EXPECT_EQ(s.completed_ok + s.completed_no_observations,
+              s.accepted - s.transferred_out + s.transferred_in);
+  }
+  EXPECT_EQ(stats.aggregate.completed_ok, clients.size());
+
+  ASSERT_EQ(sharded.size(), clients.size());
+  for (const std::uint64_t c : clients) {
+    expect_identical(sharded.at(c), single.at(c));
+  }
+}
+
+TEST(ShardedAdmission, ShedsWithTypedBackpressureBeforeAnyDeadline) {
+  // admission_depth (2) below queue_capacity (64) with a deadline so
+  // generous nothing can expire: overload must surface as immediate
+  // kQueueFull at the router, never as a deadline drop later, and the
+  // shard itself never sees the shed submissions.
+  serve::ShardedConfig cfg = sharded_config(2, 0);
+  cfg.work_stealing = false;  // keep the backlog measurable on one shard
+  cfg.admission_depth = 2;
+  cfg.shard.queue_capacity = 64;
+  cfg.shard.deadline_ticks = 1000000;
+  serve::ShardedService svc(cfg);
+  const std::uint64_t client = clients_on_shard0(2, 1)[0];
+  int accepted = 0;
+  int shed = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto st =
+        svc.submit(clean_request(client, static_cast<serve::Tick>(i)), {});
+    if (st == serve::SubmitStatus::kAccepted) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(st, serve::SubmitStatus::kQueueFull);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(shed, 3);
+  svc.drain();
+  const serve::ShardedStats stats = svc.stats();
+  EXPECT_EQ(stats.shed_admission, 3u);
+  // Shed at the router: the shard's own queue-full counter stays 0.
+  EXPECT_EQ(stats.aggregate.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.aggregate.deadline_dropped, 0u);
+  EXPECT_EQ(stats.aggregate.accepted, 2u);
+  EXPECT_EQ(stats.aggregate.completed_ok, 2u);
+}
+
+TEST(ShardedLifecycle, DrainThenStopIsIdempotentAcrossShards) {
+  serve::ShardedService svc(sharded_config(3, 0));
+  int callbacks = 0;
+  for (std::uint64_t c = 0; c < 6; ++c) {
+    ASSERT_EQ(svc.submit(clean_request(c, c),
+                         [&](const serve::Response&) { ++callbacks; }),
+              serve::SubmitStatus::kAccepted);
+  }
+  svc.drain();
+  EXPECT_EQ(callbacks, 6);
+  svc.stop();
+  svc.stop();   // idempotent
+  svc.drain();  // post-stop drain must return immediately, not wedge
+  EXPECT_EQ(svc.submit(clean_request(99, 0), {}),
+            serve::SubmitStatus::kStopped);
+  EXPECT_EQ(svc.stats().aggregate.rejected_stopped, 1u);
+  EXPECT_EQ(callbacks, 6);  // nothing double-completed
+}
+
+TEST(ShardedStats, AggregateReconcilesExactlyWithPerShard) {
+  serve::ShardedService svc(sharded_config(4, 0));
+  int callbacks = 0;
+  std::uint64_t accepted = 0;
+  for (std::uint64_t c = 0; c < 12; ++c) {
+    if (svc.submit(clean_request(c, c, /*seed=*/c + 1),
+                   [&](const serve::Response&) { ++callbacks; }) ==
+        serve::SubmitStatus::kAccepted) {
+      ++accepted;
+    }
+  }
+  svc.drain();
+  const serve::ShardedStats stats = svc.stats();
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+
+  // Recompute the aggregate independently with the exposed accumulator
+  // and pin every counter against the snapshot's own aggregate.
+  serve::ServiceStats sum;
+  for (const serve::ServiceStats& s : stats.per_shard) {
+    serve::accumulate_stats(sum, s);
+  }
+  EXPECT_EQ(stats.aggregate.accepted, sum.accepted);
+  EXPECT_EQ(stats.aggregate.rejected_queue_full, sum.rejected_queue_full);
+  EXPECT_EQ(stats.aggregate.rejected_stopped, sum.rejected_stopped);
+  EXPECT_EQ(stats.aggregate.rejected_invalid, sum.rejected_invalid);
+  EXPECT_EQ(stats.aggregate.deadline_dropped, sum.deadline_dropped);
+  EXPECT_EQ(stats.aggregate.completed_ok, sum.completed_ok);
+  EXPECT_EQ(stats.aggregate.completed_no_observations,
+            sum.completed_no_observations);
+  EXPECT_EQ(stats.aggregate.batches, sum.batches);
+  EXPECT_EQ(stats.aggregate.transferred_out, sum.transferred_out);
+  EXPECT_EQ(stats.aggregate.transferred_in, sum.transferred_in);
+  EXPECT_EQ(stats.aggregate.callback_exceptions, sum.callback_exceptions);
+  EXPECT_EQ(stats.aggregate.latency_recorded, sum.latency_recorded);
+  EXPECT_EQ(stats.aggregate.latency_ticks.size(), sum.latency_ticks.size());
+  EXPECT_EQ(stats.aggregate.batch_size_hist, sum.batch_size_hist);
+
+  // And against externally observable truth.
+  EXPECT_EQ(stats.aggregate.accepted, accepted);
+  EXPECT_EQ(stats.aggregate.completed_ok +
+                stats.aggregate.completed_no_observations,
+            static_cast<std::uint64_t>(callbacks));
+  EXPECT_EQ(stats.aggregate.latency_recorded,
+            static_cast<std::uint64_t>(callbacks));
+  // Work stealing conserves requests in aggregate.
+  EXPECT_EQ(stats.aggregate.transferred_out, stats.aggregate.transferred_in);
+  EXPECT_EQ(stats.aggregate.transferred_out, stats.stolen_requests);
+}
+
+TEST(ShardedStats, LatencyRingStaysBoundedPerShard) {
+  serve::ShardedConfig cfg = sharded_config(2, 0);
+  cfg.shard.latency_sample_cap = 3;
+  serve::ShardedService svc(cfg);
+  for (std::uint64_t c = 0; c < 10; ++c) {
+    ASSERT_EQ(svc.submit(clean_request(c, c), {}),
+              serve::SubmitStatus::kAccepted);
+    svc.drain();  // complete one at a time so every sample is recorded
+  }
+  const serve::ShardedStats stats = svc.stats();
+  for (const serve::ServiceStats& s : stats.per_shard) {
+    EXPECT_LE(s.latency_ticks.size(), 3u);
+  }
+  // The aggregate still counts every sample ever taken.
+  EXPECT_EQ(stats.aggregate.latency_recorded, 10u);
+  EXPECT_LE(stats.aggregate.latency_ticks.size(), 6u);
+}
+
+}  // namespace
+}  // namespace roarray
