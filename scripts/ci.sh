@@ -44,6 +44,17 @@
 #                                     with nonzero sustained throughput
 #                                     in both serving modes. Also runs
 #                                     inside the full leg.
+#   scripts/ci.sh --analyze [jobs]    semantic-analyzer leg: builds
+#                                     tools/roarray_analyze, runs its
+#                                     fixture self-test, then runs the
+#                                     include-layering / lock-order /
+#                                     hot-alloc rules over src/ against
+#                                     the specs in tools/roarray_analyze/.
+#                                     Never skips — the tool is std-only
+#                                     and builds wherever the library
+#                                     does; any finding exits nonzero.
+#                                     Also runs inside the full leg,
+#                                     ahead of the build.
 #   scripts/ci.sh --tidy [jobs]       static-analysis leg: clang-tidy
 #                                     over src/ with the committed
 #                                     .clang-tidy (via the exported
@@ -74,6 +85,10 @@ case "${1:-}" in
     ;;
   --tidy)
     MODE=tidy
+    shift
+    ;;
+  --analyze)
+    MODE=analyze
     shift
     ;;
   --backends)
@@ -137,6 +152,25 @@ EOF
     echo "serve smoke: BENCH_serve.json has nonzero sustained_rps (grep check)"
   fi
 }
+
+# Builds the source tools and runs the semantic analyzer (self-test
+# first, then the committed src/ tree against the committed specs).
+# Deliberately no graceful skip: the analyzer is std-only, so "cannot
+# build the analyzer" is itself a CI failure.
+analyze_gate() {
+  echo "== Semantic analysis (tools/roarray_analyze) =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "${JOBS}" \
+    --target roarray_analyze roarray_lint
+  ./build/tools/roarray_analyze --self-test
+  ./build/tools/roarray_analyze --spec-dir tools/roarray_analyze src
+}
+
+if [[ "$MODE" == analyze ]]; then
+  analyze_gate
+  echo "Analyze leg OK"
+  exit 0
+fi
 
 if [[ "$MODE" == soak ]]; then
   echo "== Property soak (${SOAK_SECONDS}s wall-clock budget) =="
@@ -286,6 +320,8 @@ if [[ "$MODE" == serve_smoke ]]; then
   echo "Serve smoke OK"
   exit 0
 fi
+
+analyze_gate
 
 echo "== Release build =="
 cmake --preset default

@@ -142,7 +142,8 @@ class ThreadPool {
   /// until every range is done; exceptions propagate like parallel_for.
   void parallel_for_range(
       index_t n, index_t grain,
-      const std::function<void(index_t, index_t)>& body) const {
+      const std::function<void(index_t, index_t)>& body) const
+      ROARRAY_EXCLUDES(call_mutex_, mutex_) {
     if (n <= 0) return;
     const index_t g = grain > 0 ? grain : 1;
     const index_t tiles = (n + g - 1) / g;
@@ -157,7 +158,8 @@ class ThreadPool {
   /// vector is index-ordered, so downstream reductions see results in
   /// exactly the order a serial loop would produce them.
   template <typename T, typename Fn>
-  [[nodiscard]] std::vector<T> map(index_t n, Fn&& fn) const {
+  [[nodiscard]] std::vector<T> map(index_t n, Fn&& fn) const
+      ROARRAY_EXCLUDES(call_mutex_, mutex_) {
     std::vector<T> out(static_cast<std::size_t>(n > 0 ? n : 0));
     parallel_for(n, [&](index_t i) { out[static_cast<std::size_t>(i)] = fn(i); });
     return out;

@@ -197,7 +197,7 @@ class LocalizationService {
   LocalizationService& operator=(const LocalizationService&) = delete;
 
   /// Drains and stops (same as stop()).
-  ~LocalizationService();
+  ~LocalizationService() ROARRAY_EXCLUDES(mutex_);
 
   /// Validates and enqueues a request. On kAccepted the callback will
   /// be invoked exactly once; on any rejection it never is. submit also

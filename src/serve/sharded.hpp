@@ -104,7 +104,7 @@ class ShardedService {
   ShardedService& operator=(const ShardedService&) = delete;
 
   /// Drains and stops (same as stop()).
-  ~ShardedService();
+  ~ShardedService() ROARRAY_EXCLUDES(router_mutex_);
 
   /// Home shard of a client: splitmix64(client_id) mod shards. Pure —
   /// identical across instances, restarts, and machines.

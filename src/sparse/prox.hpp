@@ -47,7 +47,8 @@ inline void group_soft_threshold_rows_inplace(
   // scale[i] holds the squared row norm during the sweep, then the
   // shrink factor (-1 marks "zero the row" so rows at the threshold are
   // set exactly to zero rather than multiplied by 0).
-  std::vector<double> scale(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> scale(  // roarray-analyze: allow(hot-alloc) n-double scratch amortized by the O(nk) sweep
+      static_cast<std::size_t>(n), 0.0);
   for (index_t j = 0; j < k; ++j) {
     bk.row_sq_accumulate(x.data() + j * n, n, scale.data());
   }
@@ -68,7 +69,8 @@ inline void group_soft_threshold_rows_inplace(
   const index_t n = x.rows();
   const index_t k = x.cols();
   if (n == 0 || k == 0) return 0.0;
-  std::vector<double> row_sq(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> row_sq(  // roarray-analyze: allow(hot-alloc) n-double scratch amortized by the O(nk) sweep
+      static_cast<std::size_t>(n), 0.0);
   for (index_t j = 0; j < k; ++j) {
     bk.row_sq_accumulate(x.data() + j * n, n, row_sq.data());
   }

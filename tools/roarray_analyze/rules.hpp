@@ -1,0 +1,30 @@
+// The three roarray_analyze rule families, run over a scanned source
+// set against the machine-readable specs. See DESIGN.md §12 for rule
+// semantics and spec extension guidance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "code_model.hpp"
+#include "finding.hpp"
+#include "spec.hpp"
+
+namespace roarray::srctool {
+
+struct Specs {
+  LayeringSpec layering;
+  std::string layering_origin;
+  LockOrderSpec lock_order;
+  std::string lock_order_origin;
+  HotPathSpec hot;
+  std::string hot_origin;
+};
+
+/// Scans every file (populating `code` from `raw`), runs layering,
+/// lock-order, and hot-alloc checks, drops per-line `allow(<rule>)`
+/// suppressions, and returns the surviving findings sorted.
+[[nodiscard]] std::vector<Finding> run_rules(std::vector<SourceFile>& files,
+                                             const Specs& specs);
+
+}  // namespace roarray::srctool

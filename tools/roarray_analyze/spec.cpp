@@ -1,0 +1,123 @@
+#include "spec.hpp"
+
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace roarray::srctool {
+
+namespace {
+
+/// Splits one spec line into whitespace-separated words, dropping a
+/// trailing '#' comment. Returns true if the line carries any words.
+[[nodiscard]] bool split_words(const std::string& line,
+                               std::vector<std::string>& words) {
+  words.clear();
+  std::string cur;
+  for (const char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!cur.empty()) words.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) words.push_back(cur);
+  return !words.empty();
+}
+
+void spec_error(const std::string& origin, int line, const std::string& what,
+                std::vector<Finding>& findings) {
+  findings.push_back({origin, line, "spec", what});
+}
+
+}  // namespace
+
+bool parse_layering_spec(const std::string& text, const std::string& origin,
+                         LayeringSpec& out, std::vector<Finding>& findings) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> w;
+  int lineno = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!split_words(line, w)) continue;
+    if (w[0] == "module" && w.size() >= 3) {
+      ModuleDef def;
+      def.name = w[1];
+      def.paths.assign(w.begin() + 2, w.end());
+      out.modules.push_back(std::move(def));
+    } else if (w[0] == "allow" && w.size() == 3) {
+      out.allows.emplace_back(w[1], w[2]);
+    } else {
+      spec_error(origin, lineno,
+                 "malformed layering directive (want 'module <name> <path>...'"
+                 " or 'allow <from> <to>'): " + line,
+                 findings);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool parse_lock_order_spec(const std::string& text, const std::string& origin,
+                           LockOrderSpec& out,
+                           std::vector<Finding>& findings) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> w;
+  int lineno = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!split_words(line, w)) continue;
+    if (w[0] == "order" && w.size() == 4 && w[2] == ">") {
+      out.order.emplace_back(w[1], w[3]);
+    } else if (w[0] == "leaf" && w.size() == 2) {
+      out.leaves.push_back(w[1]);
+    } else if (w[0] == "entrypoint" && w.size() == 2) {
+      out.entrypoints.push_back(w[1]);
+    } else if (w[0] == "callback" && w.size() == 2) {
+      out.callbacks.push_back(w[1]);
+    } else if (w[0] == "primitive-exempt" && w.size() == 2) {
+      out.primitive_exempt.push_back(w[1]);
+    } else {
+      spec_error(origin, lineno,
+                 "malformed lock-order directive (want 'order <A> > <B>', "
+                 "'leaf <lock>', 'entrypoint <fn>', 'callback <name>', or "
+                 "'primitive-exempt <path>'): " + line,
+                 findings);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool parse_hot_path_spec(const std::string& text, const std::string& origin,
+                         HotPathSpec& out, std::vector<Finding>& findings) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> w;
+  int lineno = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!split_words(line, w)) continue;
+    if (w[0] == "hot-dir" && w.size() == 2) {
+      out.hot_dirs.push_back(w[1]);
+    } else if (w[0] == "hot-fn" && w.size() == 2) {
+      out.hot_fns.push_back(w[1]);
+    } else {
+      spec_error(origin, lineno,
+                 "malformed hot-path directive (want 'hot-dir <prefix>' or "
+                 "'hot-fn <name>'): " + line,
+                 findings);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace roarray::srctool

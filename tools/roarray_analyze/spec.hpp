@@ -1,0 +1,82 @@
+// Machine-readable rule specs for roarray_analyze. Three plain-text
+// files, one per rule family, live next to the tool and are parsed into
+// these structs:
+//
+//   layering.txt   module map (path prefixes / exact files -> module
+//                  names, longest match wins) plus the allowed
+//                  module-dependency edge set. Directives:
+//                    module <name> <path> [<path>...]
+//                    allow <from-module> <to-module>
+//   lock_order.txt the documented mutex hierarchy. Directives:
+//                    order <lock-A> > <lock-B>     A may be held while
+//                                                  acquiring B
+//                    leaf <lock>                   no lock may be
+//                                                  acquired while <lock>
+//                                                  is held
+//                    entrypoint <function>         must never be called
+//                                                  with a lock held
+//                    callback <identifier>         user-callback call
+//                                                  sites; same rule
+//                    primitive-exempt <path>       file allowed to touch
+//                                                  std::mutex directly
+//                  Locks are named <module>::<Class>::<member>.
+//   hot_paths.txt  allocation-free scopes. Directives:
+//                    hot-dir <path-prefix>         every function in
+//                                                  every TU under it
+//                    hot-fn <function-name>        one function, wherever
+//                                                  it is defined
+//
+// '#' starts a comment; blank lines are ignored. Unknown directives are
+// parse errors (fail closed: a typo must not silently drop a rule).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "finding.hpp"
+
+namespace roarray::srctool {
+
+struct ModuleDef {
+  std::string name;
+  std::vector<std::string> paths;  ///< repo-relative prefixes or exact files.
+};
+
+struct LayeringSpec {
+  std::vector<ModuleDef> modules;
+  std::vector<std::pair<std::string, std::string>> allows;  ///< from -> to.
+};
+
+struct LockOrderSpec {
+  /// Documented holds-before pairs: first may be held while acquiring
+  /// second. Consistency is checked against the transitive closure.
+  std::vector<std::pair<std::string, std::string>> order;
+  std::vector<std::string> leaves;
+  std::vector<std::string> entrypoints;
+  std::vector<std::string> callbacks;
+  std::vector<std::string> primitive_exempt;
+};
+
+struct HotPathSpec {
+  std::vector<std::string> hot_dirs;
+  std::vector<std::string> hot_fns;
+};
+
+/// Each parser returns false and appends a "spec" finding (anchored at
+/// <origin>:<line>) on malformed input; a spec that fails to parse must
+/// fail the analysis run, not weaken it.
+[[nodiscard]] bool parse_layering_spec(const std::string& text,
+                                       const std::string& origin,
+                                       LayeringSpec& out,
+                                       std::vector<Finding>& findings);
+[[nodiscard]] bool parse_lock_order_spec(const std::string& text,
+                                         const std::string& origin,
+                                         LockOrderSpec& out,
+                                         std::vector<Finding>& findings);
+[[nodiscard]] bool parse_hot_path_spec(const std::string& text,
+                                       const std::string& origin,
+                                       HotPathSpec& out,
+                                       std::vector<Finding>& findings);
+
+}  // namespace roarray::srctool

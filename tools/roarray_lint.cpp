@@ -38,7 +38,11 @@
 //                            mismatch)
 //
 // Dependency-free by design (std only) so it builds in any environment
-// and runs as an ordinary ctest case.
+// and runs as an ordinary ctest case. The comment/string-aware scanning
+// primitives (strip_code, has_token, suppression parsing) are shared
+// with roarray_analyze via roarray_analyze/lexer.hpp — one lexer, two
+// tools — which is also why the `roarray-analyze: allow(...)` marker
+// suppresses here too.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -49,109 +53,21 @@
 #include <string_view>
 #include <vector>
 
+#include "roarray_analyze/finding.hpp"
+#include "roarray_analyze/lexer.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding {
-  std::string path;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-[[nodiscard]] bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Removes // and /* */ comments and the contents of string/char
-/// literals from one line, so token checks don't fire on prose or
-/// quoted text. `in_block` carries /* */ state across lines.
-[[nodiscard]] std::string strip_code(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
-      ++i;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.push_back(quote);
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\') {
-          i += 2;
-          continue;
-        }
-        if (line[i] == quote) break;
-        ++i;
-      }
-      out.push_back(quote);
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// True if `code` contains `token` at an identifier boundary (so "time("
-/// does not match inside "runtime(").
-[[nodiscard]] bool has_token(std::string_view code, std::string_view token,
-                             bool require_call = false) {
-  std::size_t pos = 0;
-  while ((pos = code.find(token, pos)) != std::string_view::npos) {
-    const bool start_ok = pos == 0 || !ident_char(code[pos - 1]);
-    std::size_t end = pos + token.size();
-    bool end_ok = end >= code.size() || !ident_char(code[end]);
-    if (require_call && end_ok) {
-      while (end < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[end])) != 0) {
-        ++end;
-      }
-      end_ok = end < code.size() && code[end] == '(';
-    }
-    if (start_ok && end_ok) return true;
-    ++pos;
-  }
-  return false;
-}
-
-[[nodiscard]] bool suppressed(const std::string& raw_line,
-                              std::string_view rule) {
-  const std::size_t pos = raw_line.find("roarray-lint: allow(");
-  if (pos == std::string::npos) return false;
-  const std::size_t open = raw_line.find('(', pos);
-  const std::size_t close = raw_line.find(')', open);
-  if (close == std::string::npos) return false;
-  const std::string_view rules(raw_line.data() + open + 1, close - open - 1);
-  return rules.find(rule) != std::string_view::npos;
-}
-
-[[nodiscard]] std::vector<std::string> path_components(const std::string& path) {
-  std::vector<std::string> parts;
-  std::string cur;
-  for (const char c : path) {
-    if (c == '/' || c == '\\') {
-      if (!cur.empty()) parts.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) parts.push_back(cur);
-  return parts;
-}
+using roarray::srctool::Finding;
+using roarray::srctool::has_token;
+using roarray::srctool::ident_char;
+using roarray::srctool::path_components;
+using roarray::srctool::starts_with;
+using roarray::srctool::strip_code;
+using roarray::srctool::suppressed;
+using roarray::srctool::trim;
 
 struct PathScope {
   bool in_src = false;      ///< some directory component is "src".
@@ -177,17 +93,6 @@ struct PathScope {
     }
   }
   return scope;
-}
-
-[[nodiscard]] std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
-
-[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
 /// Tokens that make library output depend on process entropy or clocks.
@@ -610,10 +515,7 @@ int main(int argc, char** argv) {
   for (const std::string& f : files) {
     if (!scan_file(f, findings)) return 2;
   }
-  for (const Finding& f : findings) {
-    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
-  }
+  roarray::srctool::print_findings(findings);
   if (!findings.empty()) {
     std::fprintf(stderr, "roarray_lint: %zu finding(s) in %zu file(s)\n",
                  findings.size(), files.size());
