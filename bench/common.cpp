@@ -1,9 +1,11 @@
 #include "common.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <random>
 
 #include "linalg/backend/backend.hpp"
@@ -69,7 +71,7 @@ const char* system_name(System s) {
 bool estimate_direct_aoa(System system, const sim::ApMeasurement& m,
                          const dsp::ArrayConfig& array_cfg, double& aoa_deg,
                          bool strict, const runtime::EstimateContext& ctx,
-                         bool coarse_fine) {
+                         bool coarse_fine, double* toa_s_out) {
   switch (system) {
     case System::kRoArray: {
       core::RoArrayConfig cfg;
@@ -79,6 +81,7 @@ bool estimate_direct_aoa(System system, const sim::ApMeasurement& m,
           core::roarray_estimate(m.burst.csi, cfg, array_cfg, ctx);
       if (!r.valid) return false;
       aoa_deg = r.direct.aoa_deg;
+      if (toa_s_out != nullptr) *toa_s_out = r.direct.toa_s;
       return true;
     }
     case System::kSpotfi: {
@@ -93,6 +96,7 @@ bool estimate_direct_aoa(System system, const sim::ApMeasurement& m,
           music::spotfi_estimate(m.burst.csi, cfg, array_cfg);
       if (!r.valid) return false;
       aoa_deg = r.direct_aoa_deg;
+      if (toa_s_out != nullptr) *toa_s_out = r.direct_toa_s;
       return true;
     }
     case System::kArrayTrack: {
@@ -137,14 +141,16 @@ std::vector<SystemErrors> run_band(const sim::Testbed& testbed,
       std::vector<loc::ApObservation> obs;
       for (const sim::ApMeasurement& m : ms) {
         double aoa = 0.0;
+        double toa = std::numeric_limits<double>::quiet_NaN();
         if (!estimate_direct_aoa(systems[s], m, scfg.array, aoa,
                                  opts.strict_baselines, ctx,
-                                 opts.coarse_fine)) {
+                                 opts.coarse_fine, &toa)) {
           continue;
         }
         per_loc[l][s].aoa_deg.push_back(
             dsp::angle_diff_deg(aoa, m.true_direct_aoa_deg));
-        obs.push_back({m.pose, aoa, m.rssi_weight});
+        obs.push_back({m.pose, aoa, m.rssi_weight, std::isfinite(toa) ? toa : 0.0,
+                       std::isfinite(toa)});
       }
       const loc::LocalizeResult fix = loc::localize(obs, lcfg, ctx.pool);
       if (fix.valid) {

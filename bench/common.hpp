@@ -88,13 +88,17 @@ struct SystemErrors {
 /// if the estimator produced nothing usable. `strict` selects the
 /// historical baseline configuration (see BenchOptions). `ctx` lets the
 /// ROArray path reuse a cached steering operator; `coarse_fine` routes
-/// it through the pruned factored-dictionary solve.
+/// it through the pruned factored-dictionary solve. A non-null
+/// `toa_s_out` receives the system's direct-path ToA pick when it has
+/// one (ROArray, SpotFi) and is left untouched otherwise — initialize
+/// it to NaN to detect whether a ToA was produced.
 [[nodiscard]] bool estimate_direct_aoa(System system,
                                        const sim::ApMeasurement& m,
                                        const dsp::ArrayConfig& array_cfg,
                                        double& aoa_deg, bool strict = false,
                                        const runtime::EstimateContext& ctx = {},
-                                       bool coarse_fine = false);
+                                       bool coarse_fine = false,
+                                       double* toa_s_out = nullptr);
 
 /// Runs `systems` over every location at the given SNR band and collects
 /// localization + AoA errors. Each location uses its own deterministic

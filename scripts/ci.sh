@@ -346,6 +346,22 @@ if grep -nE '"[a-z0-9_]*(identical|matches)[a-z0-9_]*": *false' \
   exit 1
 fi
 
+echo "== Bench smoke (robust-vs-naive fusion sweep) =="
+# Small-scale run of the adversarial fusion sweep (bench/fig4_fusion):
+# the robust path must not lose to the naive weighted grid argmin on
+# clean data — on all-inlier rounds IRLS is bit-compatible with the
+# weighted solve, so a false flag here is a correctness regression in
+# the fusion layer, not a tuning issue. The blocked-AP improvement
+# ratio is scale-sensitive and is gated on the committed full-scale
+# BENCH_fusion.json instead.
+./build/bench/fig4_fusion --locations 8 --json build/BENCH_fusion.json
+test -s build/BENCH_fusion.json
+if ! grep -q '"robust_no_worse_than_naive_clean": true' \
+    build/BENCH_fusion.json; then
+  echo "bench smoke FAILED: robust fusion lost to naive on clean data" >&2
+  exit 1
+fi
+
 serve_smoke
 
 echo "== ASan+UBSan build =="

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "dsp/angles.hpp"
@@ -47,7 +48,23 @@ RowBest scan_row(linalg::index_t iy, linalg::index_t nx, double step,
   return best;
 }
 
+/// An observation contributes only with a finite AoA and a positive,
+/// finite weight; anything else (all-zero RSSI weights, NaNs from an
+/// upstream failure) previously produced a silent bogus (0, 0) fix.
+[[nodiscard]] bool usable_observation(const ApObservation& o) noexcept {
+  return std::isfinite(o.aoa_deg) && std::isfinite(o.weight) && o.weight > 0.0;
+}
+
 }  // namespace
+
+const char* localize_status_name(LocalizeStatus s) noexcept {
+  switch (s) {
+    case LocalizeStatus::kOk: return "ok";
+    case LocalizeStatus::kNoObservations: return "no-observations";
+    case LocalizeStatus::kDegenerateWeights: return "degenerate-weights";
+  }
+  return "unknown";
+}
 
 LocalizeResult localize(std::span<const ApObservation> observations,
                         const LocalizeConfig& cfg,
@@ -58,6 +75,20 @@ LocalizeResult localize(std::span<const ApObservation> observations,
   }
   LocalizeResult out;
   if (observations.empty()) return out;
+
+  std::vector<ApObservation> usable;
+  std::vector<std::size_t> src_index;  // usable slot -> input index.
+  usable.reserve(observations.size());
+  src_index.reserve(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    if (!usable_observation(observations[i])) continue;
+    usable.push_back(observations[i]);
+    src_index.push_back(i);
+  }
+  if (usable.empty()) {
+    out.status = LocalizeStatus::kDegenerateWeights;
+    return out;
+  }
 
   const auto nx = static_cast<linalg::index_t>(
       std::floor(cfg.room.width_m / cfg.grid_step_m)) + 1;
@@ -70,7 +101,7 @@ LocalizeResult localize(std::span<const ApObservation> observations,
   std::vector<RowBest> rows(static_cast<std::size_t>(ny));
   auto row_body = [&](linalg::index_t iy) {
     rows[static_cast<std::size_t>(iy)] =
-        scan_row(iy, nx, cfg.grid_step_m, observations);
+        scan_row(iy, nx, cfg.grid_step_m, usable);
   };
   if (pool != nullptr) {
     pool->parallel_for(ny, row_body);
@@ -90,6 +121,34 @@ LocalizeResult localize(std::span<const ApObservation> observations,
   }
   out.cost = best;
   out.valid = true;
+  out.status = LocalizeStatus::kOk;
+
+  // Robust fusion refinement, seeded by the grid argmin. Below the AP
+  // floor the grid fix stands alone: a 2-AP robust solve has no
+  // redundancy to tell an inlier from a liar.
+  if (cfg.robust && static_cast<int>(usable.size()) >= cfg.robust_min_aps) {
+    std::vector<fusion::Observation> fobs(usable.size());
+    for (std::size_t i = 0; i < usable.size(); ++i) {
+      fobs[i].pose = usable[i].pose;
+      fobs[i].aoa_deg = usable[i].aoa_deg;
+      fobs[i].weight = usable[i].weight;
+      fobs[i].toa_s = usable[i].toa_s;
+      fobs[i].has_toa = usable[i].has_toa && std::isfinite(usable[i].toa_s);
+    }
+    fusion::FusionReport report =
+        fusion::fuse_robust(fobs, cfg.room, out.position, cfg.fusion);
+    out.used_fusion = true;
+    out.position = report.position;
+    out.cost = report.cost;
+    // Re-align per-AP diagnostics with the caller's input span; screened
+    // observations keep default (non-inlier, zero-weight) entries.
+    std::vector<fusion::ApDiagnostics> aligned(observations.size());
+    for (std::size_t i = 0; i < src_index.size(); ++i) {
+      aligned[src_index[i]] = report.per_ap[i];
+    }
+    report.per_ap = std::move(aligned);
+    out.fusion = std::move(report);
+  }
   return out;
 }
 

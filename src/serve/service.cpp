@@ -50,6 +50,11 @@ void ServeConfig::validate() const {
     throw std::invalid_argument(
         "ServeConfig: localize.grid_step_m must be positive and finite");
   }
+  if (localize.robust_min_aps < 2) {
+    throw std::invalid_argument(
+        "ServeConfig: localize.robust_min_aps must be >= 2");
+  }
+  localize.fusion.validate();
 }
 
 LocalizationService::LocalizationService(ServeConfig cfg,
@@ -191,6 +196,7 @@ void LocalizationService::process_batch(std::vector<Pending> batch,
       r.client_id = p.req.client_id;
       r.submit_tick = p.req.submit_tick;
       std::vector<loc::ApObservation> observations;
+      std::vector<std::size_t> obs_ap;  // observation slot -> ap_estimates index.
       r.ap_estimates.reserve(p.req.aps.size());
       for (std::size_t j = 0; j < p.req.aps.size(); ++j) {
         const core::RoArrayResult& est = results[burst_index++];
@@ -202,16 +208,34 @@ void LocalizationService::process_batch(std::vector<Pending> batch,
           ae.aoa_deg = est.direct.aoa_deg;
           ae.toa_s = est.direct.toa_s;
           ae.power = est.direct.power;
-          observations.push_back({cfg_.ap_poses[ae.ap_id], ae.aoa_deg,
-                                  ae.weight});
+          loc::ApObservation obs;
+          obs.pose = cfg_.ap_poses[ae.ap_id];
+          obs.aoa_deg = ae.aoa_deg;
+          obs.weight = ae.weight;
+          obs.toa_s = ae.toa_s;
+          obs.has_toa = true;
+          observations.push_back(obs);
+          obs_ap.push_back(j);
         }
         r.ap_estimates.push_back(ae);
       }
       if (observations.empty()) {
         r.status = ResponseStatus::kNoObservations;
       } else {
-        r.status = ResponseStatus::kOk;
         r.location = loc::localize(observations, cfg_.localize, ctx_.pool);
+        // A degenerate round (e.g. every RSSI weight zero) now carries a
+        // typed status out of the localizer instead of a bogus (0,0) fix.
+        r.status = r.location.valid ? ResponseStatus::kOk
+                                    : ResponseStatus::kNoObservations;
+        if (r.location.used_fusion) {
+          for (std::size_t k = 0; k < obs_ap.size(); ++k) {
+            const fusion::ApDiagnostics& d = r.location.fusion.per_ap[k];
+            ApEstimate& ae = r.ap_estimates[obs_ap[k]];
+            ae.fused_inlier = d.inlier;
+            ae.fused_residual_m = d.residual_m;
+            ae.fused_toa_bias_s = d.toa_bias_s;
+          }
+        }
       }
       responses.push_back(std::move(r));
     }
@@ -237,6 +261,15 @@ void LocalizationService::process_batch(std::vector<Pending> batch,
       switch (r.status) {
         case ResponseStatus::kOk:
           ++stats_.completed_ok;
+          if (r.location.used_fusion) {
+            ++stats_.fusion_used;
+            if (r.location.fusion.used_ransac) ++stats_.fusion_ransac;
+            if (r.location.fusion.fallback != fusion::FusionFallback::kNone) {
+              ++stats_.fusion_fallbacks;
+            }
+            stats_.fusion_ap_rejected += r.location.fusion.per_ap.size() -
+                static_cast<std::size_t>(r.location.fusion.inliers);
+          }
           break;
         case ResponseStatus::kNoObservations:
           ++stats_.completed_no_observations;

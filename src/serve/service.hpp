@@ -124,6 +124,13 @@ struct ApEstimate {
   double toa_s = 0.0;
   double power = 0.0;
   double weight = 0.0;  ///< RSSI fusion weight (channel::burst_rssi_weight).
+  /// Robust-fusion verdict for this AP (meaningful only when valid and
+  /// the response's location.used_fusion is set): did the fused position
+  /// explain this AP, its geometric residual, and its estimated NLoS
+  /// positive ToA bias (DESIGN.md §13).
+  bool fused_inlier = false;
+  double fused_residual_m = 0.0;
+  double fused_toa_bias_s = 0.0;
 };
 
 struct Response {
@@ -164,6 +171,15 @@ struct ServiceStats {
   /// Response callbacks that threw (the exceptions are swallowed so the
   /// rest of the batch completes; see ResponseCallback).
   std::uint64_t callback_exceptions = 0;
+  /// Robust-fusion health (see loc::LocalizeResult / fusion::FusionReport):
+  /// completions that went through the fusion layer, how many of those
+  /// escalated to the RANSAC hypothesis stage, how many ended on a
+  /// non-kNone fallback reason, and the total APs the fused fix rejected
+  /// as outliers.
+  std::uint64_t fusion_used = 0;
+  std::uint64_t fusion_ransac = 0;
+  std::uint64_t fusion_fallbacks = 0;
+  std::uint64_t fusion_ap_rejected = 0;
   /// batch_size_hist[k] = batches dispatched with k+1 requests.
   std::vector<std::uint64_t> batch_size_hist;
   /// Per-completed-request done_tick - submit_tick (excludes deadline

@@ -1,8 +1,46 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace roarray::sim {
+
+namespace {
+
+/// Deterministic partial Fisher-Yates: the first `take` entries of the
+/// returned index list are a uniform draw of AP indices from the round
+/// rng (rng() modulo span — the tiny modulo bias is irrelevant for a
+/// simulator and keeps the draw count fixed at one per slot).
+std::vector<std::size_t> draw_ap_subset(std::size_t num_aps, std::size_t take,
+                                        std::mt19937_64& rng) {
+  std::vector<std::size_t> idx(num_aps);
+  for (std::size_t i = 0; i < num_aps; ++i) idx[i] = i;
+  take = std::min(take, num_aps);
+  for (std::size_t k = 0; k < take; ++k) {
+    const std::size_t pick = k + static_cast<std::size_t>(
+        rng() % static_cast<std::uint64_t>(num_aps - k));
+    std::swap(idx[k], idx[pick]);
+  }
+  idx.resize(take);
+  return idx;
+}
+
+/// Index of the strongest non-direct path, or 0 when there is none.
+std::size_t strongest_reflection(const std::vector<channel::Path>& paths) {
+  std::size_t best = 0;
+  double best_gain = -1.0;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    const double g = std::abs(paths[i].gain);
+    if (g > best_gain) {
+      best_gain = g;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 const char* snr_band_name(SnrBand band) {
   switch (band) {
@@ -58,9 +96,32 @@ std::vector<ApMeasurement> generate_measurements(const Testbed& testbed,
   if (testbed.aps.empty()) {
     throw std::invalid_argument("generate_measurements: testbed has no APs");
   }
+  // Adversarial AP selection happens up front from the round rng —
+  // blocked set first, then the ToA-bias set among the remaining APs —
+  // so a fixed seed always corrupts the same APs. An inactive config
+  // draws nothing, keeping pre-existing scenarios bit-identical.
+  const AdversarialConfig& adv = cfg.adversarial;
+  std::vector<char> blocked(testbed.aps.size(), 0);
+  std::vector<char> toa_biased(testbed.aps.size(), 0);
+  if (adv.num_blocked_aps > 0 || adv.num_toa_bias_aps > 0) {
+    const auto chosen = draw_ap_subset(
+        testbed.aps.size(),
+        static_cast<std::size_t>(std::max(0, adv.num_blocked_aps)) +
+            static_cast<std::size_t>(std::max(0, adv.num_toa_bias_aps)),
+        rng);
+    for (std::size_t k = 0; k < chosen.size(); ++k) {
+      if (k < static_cast<std::size_t>(std::max(0, adv.num_blocked_aps))) {
+        blocked[chosen[k]] = 1;
+      } else {
+        toa_biased[chosen[k]] = 1;
+      }
+    }
+  }
+
   std::vector<ApMeasurement> out;
   out.reserve(testbed.aps.size());
-  for (const ApPose& ap : testbed.aps) {
+  for (std::size_t ap_index = 0; ap_index < testbed.aps.size(); ++ap_index) {
+    const ApPose& ap = testbed.aps[ap_index];
     ApMeasurement m;
     m.pose = ap;
     m.paths = channel::trace_paths(testbed.room, ap, client, cfg.multipath,
@@ -75,6 +136,72 @@ std::vector<ApMeasurement> generate_measurements(const Testbed& testbed,
     }
     m.true_direct_aoa_deg = m.paths.front().aoa_deg;  // sorted by ToA
     m.true_direct_toa_s = m.paths.front().toa_s;
+
+    // Adversarial corruption, after truth capture: truth stays the
+    // pristine geometric direct path.
+    if (blocked[ap_index]) {
+      m.adversarial_blocked = true;
+      // The obstruction shadows a cone around the LoS: the direct path
+      // and every path arriving within blocked_shadow_deg of it go.
+      const double direct_aoa = m.paths.front().aoa_deg;
+      std::vector<channel::Path> survivors;
+      for (std::size_t p = 1; p < m.paths.size(); ++p) {
+        if (std::abs(m.paths[p].aoa_deg - direct_aoa) >
+            adv.blocked_shadow_deg) {
+          survivors.push_back(m.paths[p]);
+        }
+      }
+      if (!survivors.empty()) {
+        if (adv.blocked_power_fraction > 0.0) {
+          // Hard NLoS keeps the total power: renormalize the surviving
+          // reflections so the AP reports its wrong AoA at full weight
+          // instead of flagging itself through a collapsed RSSI.
+          double pre = 0.0, post = 0.0;
+          for (const channel::Path& p : m.paths) pre += std::norm(p.gain);
+          for (const channel::Path& p : survivors) post += std::norm(p.gain);
+          if (post > 0.0) {
+            const double s =
+                std::sqrt(adv.blocked_power_fraction * pre / post);
+            for (channel::Path& p : survivors) p.gain *= s;
+          }
+        }
+        m.paths = std::move(survivors);  // ToA order is preserved.
+      } else {
+        // Everything arrives through the shadow: -40 dB across the
+        // board (the single-path corner case and the fully-shadowed
+        // geometry collapse to the same outcome).
+        for (channel::Path& p : m.paths) p.gain *= 1e-2;
+      }
+    } else if (toa_biased[ap_index] && adv.toa_bias_s > 0.0) {
+      m.adversarial_toa_bias = true;
+      // Delay ONLY the direct path: an all-path shift is a common delay
+      // that CSI sanitization removes wholesale; a direct-only shift
+      // partially survives it, which is the symptom the fusion layer's
+      // positive-bias model keys on.
+      m.paths.front().toa_s += adv.toa_bias_s;
+      m.paths.front().gain *= std::pow(10.0, -adv.toa_bias_loss_db / 20.0);
+      std::stable_sort(m.paths.begin(), m.paths.end(),
+                       [](const channel::Path& a, const channel::Path& b) {
+                         return a.toa_s < b.toa_s;
+                       });
+    }
+    if (adv.wrong_peak_probability > 0.0 && !m.adversarial_blocked) {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      if (u(rng) < adv.wrong_peak_probability && m.paths.size() > 1) {
+        m.adversarial_wrong_peak = true;
+        // Boost the strongest reflection until the direct path's
+        // relative power falls below the estimator's direct-path gate,
+        // so the peak picker locks onto the reflection.
+        const std::size_t r = strongest_reflection(m.paths);
+        const double direct = std::abs(m.paths.front().gain);
+        const double refl = std::abs(m.paths[r].gain);
+        if (refl > 0.0 && direct > 0.0) {
+          const double target = adv.wrong_peak_boost * direct;
+          if (refl < target) m.paths[r].gain *= target / refl;
+        }
+      }
+    }
+
     m.snr_db = sample_snr_db(cfg.snr_band, rng);
 
     channel::BurstConfig bc;

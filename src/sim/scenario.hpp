@@ -27,6 +27,56 @@ enum class SnrBand {
 /// (high: [15, 25], medium: (2, 15), low: [-3, 2] dB).
 [[nodiscard]] double sample_snr_db(SnrBand band, std::mt19937_64& rng);
 
+/// Adversarial corruption injected on top of a scenario: the NLoS
+/// failure modes the robust fusion layer (src/fusion/) defends against.
+/// All modes default off; an inactive config draws nothing from the
+/// round rng, so existing scenarios stay bit-identical. Which APs lie is
+/// drawn deterministically from the round rng (blocked set first, then
+/// the ToA-bias set among the remaining APs, then per-AP wrong-peak
+/// coin flips), so a fixed seed always corrupts the same APs.
+struct AdversarialConfig {
+  /// APs whose direct path is erased outright (hard NLoS: a cabinet or
+  /// wall fully shadows the LoS). The AP still reports — through its
+  /// reflections — so its AoA is confidently wrong, not merely noisy.
+  int num_blocked_aps = 0;
+  /// Angular half-width of the shadow the blocking obstruction casts: a
+  /// cabinet occludes a cone around the LoS, not just the geometric
+  /// ray, so every path within this many degrees of the direct AoA is
+  /// erased with it. This keeps the surviving strongest path — the AoA
+  /// the estimator locks onto — confidently wrong instead of letting a
+  /// scatterer sitting near the LoS line stand in for the direct path.
+  double blocked_shadow_deg = 20.0;
+  /// Fraction of the pre-block total path power the shadowed channel
+  /// retains: hard NLoS rarely costs much *total* power — the energy
+  /// still arrives, just via reflections instead of the LoS — which is
+  /// exactly what makes the blocked AP's wrong AoA confident (full RSSI
+  /// weight) rather than self-attenuating. The surviving reflections
+  /// are renormalized to this fraction of the original power; lower
+  /// values model lossy obstructions, 0 disables renormalization and
+  /// the reflections keep their natural (much weaker) gains.
+  double blocked_power_fraction = 1.0;
+  /// Per-AP probability that the strongest reflection is boosted above
+  /// the direct path until the direct's relative power falls below the
+  /// estimator's min_direct_rel_power gate, making the peak picker lock
+  /// onto the reflection.
+  double wrong_peak_probability = 0.0;
+  /// Amplitude ratio (reflection : direct) the boost enforces. 2.5 puts
+  /// the direct's relative power at 0.16 — well under the default 0.4
+  /// gate.
+  double wrong_peak_boost = 2.5;
+  /// APs whose direct path arrives late (through-wall propagation):
+  /// only the direct path is delayed — an all-path shift would be
+  /// removed wholesale by CSI sanitization — and mildly attenuated.
+  int num_toa_bias_aps = 0;
+  double toa_bias_s = 80e-9;
+  double toa_bias_loss_db = 3.0;
+
+  [[nodiscard]] bool active() const {
+    return num_blocked_aps > 0 || wrong_peak_probability > 0.0 ||
+           num_toa_bias_aps > 0;
+  }
+};
+
 /// Everything needed to simulate one client's measurement round.
 struct ScenarioConfig {
   /// Defaults give a realistic indoor channel — up to second-order
@@ -65,6 +115,8 @@ struct ScenarioConfig {
   double path_phase_jitter_rad = 0.3;
   /// Client-antenna polarization deviation (see BurstConfig).
   double polarization_deviation_rad = 0.0;
+  /// Adversarial NLoS corruption (default: all modes off).
+  AdversarialConfig adversarial;
 };
 
 /// CSI measurements from one AP for one client position, with ground
@@ -77,6 +129,12 @@ struct ApMeasurement {
   double true_direct_aoa_deg = 0.0;
   double true_direct_toa_s = 0.0;
   std::vector<channel::Path> paths;  ///< full ground-truth multipath.
+  /// Which adversarial corruption (if any) hit this AP; truth above is
+  /// always the *pristine* geometric direct path, so evaluation measures
+  /// error against reality, not against the corruption.
+  bool adversarial_blocked = false;
+  bool adversarial_wrong_peak = false;
+  bool adversarial_toa_bias = false;
 };
 
 /// Simulates one measurement round: every AP in the testbed hears the

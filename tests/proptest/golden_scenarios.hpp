@@ -20,6 +20,9 @@
 #include "core/roarray.hpp"
 #include "dsp/angles.hpp"
 #include "dsp/grid.hpp"
+#include "loc/localize.hpp"
+#include "sim/scenario.hpp"
+#include "sim/testbed.hpp"
 
 namespace roarray::golden {
 
@@ -35,6 +38,10 @@ struct GoldenScenario {
   channel::BurstConfig burst;
   std::uint64_t noise_seed = 1;
   core::RoArrayConfig estimator;
+  /// When set, `paths`/`burst` are unused: the scenario is a full
+  /// adversarial measurement round through sim + per-AP estimation +
+  /// the robust localize path (compute_fusion_golden).
+  bool fusion_round = false;
 };
 
 /// One checked quantity: value plus the tolerance committed next to it
@@ -138,7 +145,86 @@ inline std::vector<GoldenScenario> golden_scenarios() {
     s.estimator.solver.max_iterations = 300;
     out.push_back(std::move(s));
   }
+
+  // Robust-fusion round: one adversarially blocked AP in the paper
+  // testbed, run end-to-end (sim -> per-AP estimate -> robust localize).
+  // Pins the fused fix and the per-AP inlier verdicts (DESIGN.md §13).
+  {
+    GoldenScenario s;
+    s.name = "fusion_blocked_ap";
+    s.noise_seed = 26;
+    s.estimator = golden_estimator_config();
+    s.fusion_round = true;
+    out.push_back(std::move(s));
+  }
   return out;
+}
+
+/// Runs one adversarial measurement round — fixed client, one blocked
+/// AP whose direct path is erased so it reports a confidently wrong AoA
+/// through its reflections — through the per-AP estimator and the
+/// robust localize path. Per-AP picks are grid-pinned and the IRLS
+/// polish is plain scalar arithmetic over them, so the fused position
+/// carries a tight (millimeter) tolerance across build modes.
+inline GoldenRecord compute_fusion_golden(const GoldenScenario& s) {
+  std::mt19937_64 rng(s.noise_seed);
+  const sim::Testbed tb = sim::make_paper_testbed();
+  const channel::Vec2 client{11.0, 7.5};
+  sim::ScenarioConfig cfg;
+  cfg.num_packets = 3;
+  cfg.los_block_probability = 0.0;  // the blocked AP is the only liar
+  cfg.residual_phase_noise_rad = 0.0;
+  cfg.max_detection_delay_s = 0.0;  // keep ToA absolute for the bias model
+  cfg.adversarial.num_blocked_aps = 1;
+  const auto round = sim::generate_measurements(tb, client, cfg, rng);
+
+  std::vector<loc::ApObservation> obs;
+  int blocked_ap = -1;   ///< index into round.
+  int blocked_obs = -1;  ///< index into obs (per_ap alignment), -1 if dropped.
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    const sim::ApMeasurement& m = round[i];
+    if (m.adversarial_blocked) blocked_ap = static_cast<int>(i);
+    const auto est = core::roarray_estimate(m.burst.csi, s.estimator,
+                                            cfg.array,
+                                            runtime::EstimateContext{});
+    if (!est.valid) continue;
+    if (m.adversarial_blocked) blocked_obs = static_cast<int>(obs.size());
+    loc::ApObservation o;
+    o.pose = m.pose;
+    o.aoa_deg = est.direct.aoa_deg;
+    o.weight = m.rssi_weight;
+    o.toa_s = est.direct.toa_s;
+    o.has_toa = true;
+    obs.push_back(o);
+  }
+
+  loc::LocalizeConfig lcfg;
+  lcfg.room = tb.room;
+  const loc::LocalizeResult r = loc::localize(obs, lcfg);
+
+  GoldenRecord rec;
+  rec.name = s.name;
+  auto field = [&rec](const char* key, double value, double tol) {
+    rec.fields.push_back({key, value, tol});
+  };
+  field("valid", r.valid ? 1.0 : 0.0, 0.0);
+  field("num_estimates", static_cast<double>(obs.size()), 0.0);
+  field("blocked_ap", static_cast<double>(blocked_ap), 0.0);
+  field("used_fusion", r.used_fusion ? 1.0 : 0.0, 0.0);
+  field("used_ransac", r.fusion.used_ransac ? 1.0 : 0.0, 0.0);
+  field("fallback_none",
+        r.fusion.fallback == fusion::FusionFallback::kNone ? 1.0 : 0.0, 0.0);
+  field("inliers", static_cast<double>(r.fusion.inliers), 0.0);
+  const bool blocked_inlier = blocked_obs >= 0 && r.used_fusion &&
+                              static_cast<std::size_t>(blocked_obs) <
+                                  r.fusion.per_ap.size() &&
+                              r.fusion.per_ap[static_cast<std::size_t>(
+                                  blocked_obs)].inlier;
+  field("blocked_ap_inlier", blocked_inlier ? 1.0 : 0.0, 0.0);
+  field("pos_x_m", r.position.x, 1e-3);
+  field("pos_y_m", r.position.y, 1e-3);
+  field("err_m", channel::distance(r.position, client), 2e-3);
+  return rec;
 }
 
 /// Runs the estimator on a scenario and summarizes the result as the
@@ -147,6 +233,7 @@ inline std::vector<GoldenScenario> golden_scenarios() {
 /// summaries (spectrum mass) carry loose ones so records survive
 /// compiler / sanitizer build differences.
 inline GoldenRecord compute_golden(const GoldenScenario& s) {
+  if (s.fusion_round) return compute_fusion_golden(s);
   std::mt19937_64 rng(s.noise_seed);
   const dsp::ArrayConfig array;
   const auto burst = channel::generate_burst(s.paths, array, s.burst, rng);

@@ -32,6 +32,7 @@
 #include "core/roarray.hpp"
 #include "dsp/angles.hpp"
 #include "generators.hpp"
+#include "loc/localize.hpp"
 #include "music/covariance.hpp"
 #include "music/music.hpp"
 #include "music/spotfi.hpp"
@@ -529,6 +530,101 @@ TEST(ProptestDifferential, SimdBackendMatchesScalar) {
         return std::nullopt;
       },
       shrink_backend_case(), show_backend_case, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Robust-fusion differential: on all-inlier data the robust path must
+// land where the naive weighted grid argmin lands (it refines the same
+// optimum off-grid, so agreement is within a grid cell), report every
+// AP as an inlier, and never escalate to RANSAC.
+
+namespace {
+
+struct FusionCase {
+  std::vector<roarray::channel::ApPose> aps;
+  roarray::channel::Vec2 target;
+  std::vector<double> weights;
+};
+
+pt::Gen<FusionCase> gen_fusion_case() {
+  return [](pt::Rng& rng) {
+    FusionCase c;
+    const roarray::channel::Room room;
+    std::uniform_real_distribution<double> ux(1.0, room.width_m - 1.0);
+    std::uniform_real_distribution<double> uy(1.0, room.height_m - 1.0);
+    std::uniform_real_distribution<double> uaxis(0.0, 360.0);
+    std::uniform_real_distribution<double> uw(0.2, 3.0);
+    c.target = {ux(rng), uy(rng)};
+    const int n = std::uniform_int_distribution<int>(3, 6)(rng);
+    while (static_cast<int>(c.aps.size()) < n) {
+      roarray::channel::ApPose ap{{ux(rng), uy(rng)}, uaxis(rng)};
+      // Keep APs off the client: AoA is undefined on top of it and the
+      // arc-length residual scale collapses at point-blank range.
+      if (roarray::channel::distance(ap.position, c.target) < 1.5) continue;
+      c.aps.push_back(ap);
+      c.weights.push_back(uw(rng));
+    }
+    return c;
+  };
+}
+
+std::string show_fusion_case(const FusionCase& c) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "target (" << c.target.x << ", " << c.target.y << "), aps";
+  for (const auto& ap : c.aps) {
+    os << " (" << ap.position.x << "," << ap.position.y << ";" << ap.axis_deg
+       << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+TEST(ProptestDifferential, RobustFusionMatchesNaiveWhenAllInliers) {
+  pt::CheckConfig cfg;
+  cfg.cases = 25;
+  pt::check<FusionCase>(
+      "robust fusion == naive weighted argmin on all-inlier rounds",
+      gen_fusion_case(),
+      [](const FusionCase& c) -> std::optional<std::string> {
+        std::vector<roarray::loc::ApObservation> obs;
+        for (std::size_t i = 0; i < c.aps.size(); ++i) {
+          roarray::loc::ApObservation o;
+          o.pose = c.aps[i];
+          o.aoa_deg = c.aps[i].aoa_of_point(c.target);
+          o.weight = c.weights[i];
+          obs.push_back(o);
+        }
+        roarray::loc::LocalizeConfig robust_cfg;  // robust on by default.
+        roarray::loc::LocalizeConfig naive_cfg;
+        naive_cfg.robust = false;
+
+        const auto r = roarray::loc::localize(obs, robust_cfg);
+        const auto n = roarray::loc::localize(obs, naive_cfg);
+        if (!r.valid || !n.valid) return "localize flagged all-inlier round";
+        if (!r.used_fusion) return "robust path did not engage";
+        if (r.fusion.used_ransac) return "RANSAC engaged on clean data";
+        // The robust solve polishes the same basin the grid argmin found,
+        // so the two fixes sit within a grid cell of each other.
+        const double tol = 2.0 * robust_cfg.grid_step_m;
+        if (std::abs(r.position.x - n.position.x) > tol ||
+            std::abs(r.position.y - n.position.y) > tol) {
+          std::ostringstream os;
+          os << "fixes diverged: robust (" << r.position.x << ", "
+             << r.position.y << ") vs naive (" << n.position.x << ", "
+             << n.position.y << ")";
+          return os.str();
+        }
+        if (r.fusion.inliers != static_cast<int>(obs.size())) {
+          std::ostringstream os;
+          os << "only " << r.fusion.inliers << "/" << obs.size()
+             << " APs flagged inlier on clean data";
+          return os.str();
+        }
+        return std::nullopt;
+      },
+      /*shrink=*/{}, show_fusion_case, cfg);
 }
 
 // ---------------------------------------------------------------------------

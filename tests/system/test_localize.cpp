@@ -1,5 +1,8 @@
 #include "loc/localize.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "sim/testbed.hpp"
@@ -106,6 +109,82 @@ TEST(Localize, CostIsZeroForConsistentObservations) {
   const LocalizeResult r = localize(obs, paper_config());
   // Grid point nearest to the target has near-zero cost.
   EXPECT_LT(r.cost, 10.0);
+}
+
+// Regression: all-zero (or otherwise degenerate) RSSI weights used to
+// make every grid candidate cost 0, silently returning a "valid" (0, 0)
+// fix; a NaN weight likewise poisoned the scan but still reported
+// valid. Both must now surface as a typed error.
+TEST(Localize, AllZeroWeightsAreATypedErrorNotABogusFix) {
+  auto obs = perfect_observations({7.0, 5.0}, 5);
+  for (auto& o : obs) o.weight = 0.0;
+  const LocalizeResult r = localize(obs, paper_config());
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.status, LocalizeStatus::kDegenerateWeights);
+  EXPECT_FALSE(r.used_fusion);
+}
+
+TEST(Localize, NanWeightsAreATypedErrorNotABogusFix) {
+  auto obs = perfect_observations({7.0, 5.0}, 5);
+  for (auto& o : obs) o.weight = std::nan("");
+  const LocalizeResult r = localize(obs, paper_config());
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.status, LocalizeStatus::kDegenerateWeights);
+}
+
+TEST(Localize, DegenerateObservationsAreScreenedNotFatal) {
+  // Two poisoned observations ride along with four good ones: the round
+  // still resolves, and the fused diagnostics stay aligned with the
+  // caller's indices (screened slots keep default entries).
+  const Vec2 target{7.3, 4.8};
+  auto obs = perfect_observations(target, 6);
+  obs[1].weight = 0.0;
+  obs[4].weight = std::nan("");
+  const LocalizeResult r = localize(obs, paper_config());
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.status, LocalizeStatus::kOk);
+  EXPECT_NEAR(r.position.x, target.x, 0.15);
+  EXPECT_NEAR(r.position.y, target.y, 0.15);
+  ASSERT_TRUE(r.used_fusion);
+  ASSERT_EQ(r.fusion.per_ap.size(), obs.size());
+  EXPECT_FALSE(r.fusion.per_ap[1].inlier);
+  EXPECT_FALSE(r.fusion.per_ap[4].inlier);
+  EXPECT_TRUE(r.fusion.per_ap[0].inlier);
+}
+
+TEST(Localize, StatusNamesAreStable) {
+  EXPECT_STREQ(localize_status_name(LocalizeStatus::kOk), "ok");
+  EXPECT_STREQ(localize_status_name(LocalizeStatus::kNoObservations),
+               "no-observations");
+  EXPECT_STREQ(localize_status_name(LocalizeStatus::kDegenerateWeights),
+               "degenerate-weights");
+}
+
+TEST(Localize, EmptyStatusIsNoObservations) {
+  const LocalizeResult r = localize({}, paper_config());
+  EXPECT_EQ(r.status, LocalizeStatus::kNoObservations);
+}
+
+// The robust layer's acceptance story at the localize API: one blocked
+// AP (confidently wrong AoA) barely moves the robust fix while the
+// naive argmin visibly drifts.
+TEST(Localize, RobustFixShrugsOffOneLyingApWhereNaiveDrifts) {
+  const Vec2 target{11.0, 7.5};
+  auto obs = perfect_observations(target, 5);
+  obs[2].aoa_deg = std::min(180.0, obs[2].aoa_deg + 30.0);
+
+  LocalizeConfig naive_cfg = paper_config();
+  naive_cfg.robust = false;
+  const LocalizeResult naive = localize(obs, naive_cfg);
+  const LocalizeResult robust = localize(obs, paper_config());
+  ASSERT_TRUE(naive.valid);
+  ASSERT_TRUE(robust.valid);
+  ASSERT_TRUE(robust.used_fusion);
+  const double naive_err = channel::distance(naive.position, target);
+  const double robust_err = channel::distance(robust.position, target);
+  EXPECT_LT(robust_err, 0.2);
+  EXPECT_LT(robust_err, naive_err);
+  EXPECT_FALSE(robust.fusion.per_ap[2].inlier);
 }
 
 class LocalizeTargetSweep

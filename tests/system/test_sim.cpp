@@ -1,6 +1,9 @@
 #include "sim/scenario.hpp"
 #include "sim/testbed.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
@@ -134,6 +137,132 @@ TEST(Scenario, DeterministicGivenSeed) {
   const auto b = generate_measurements(tb, {9.0, 6.0}, ScenarioConfig{}, rng2);
   rt::expect_mat_near(a[0].burst.csi[0], b[0].burst.csi[0], 0.0, "determinism");
   EXPECT_DOUBLE_EQ(a[3].snr_db, b[3].snr_db);
+}
+
+TEST(Adversarial, InactiveConfigLeavesScenariosBitIdentical) {
+  // The adversarial machinery must not consume any rng draws when every
+  // mode is off, or seeds (and the golden corpus) would shift.
+  const Testbed tb = make_paper_testbed();
+  auto rng1 = rt::make_rng(420);
+  auto rng2 = rt::make_rng(420);
+  ScenarioConfig plain;
+  ScenarioConfig with_defaults;
+  EXPECT_FALSE(with_defaults.adversarial.active());
+  const auto a = generate_measurements(tb, {5.0, 7.0}, plain, rng1);
+  const auto b = generate_measurements(tb, {5.0, 7.0}, with_defaults, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    rt::expect_mat_near(a[i].burst.csi[0], b[i].burst.csi[0], 0.0,
+                        "inactive adversarial");
+    EXPECT_FALSE(b[i].adversarial_blocked);
+    EXPECT_FALSE(b[i].adversarial_wrong_peak);
+    EXPECT_FALSE(b[i].adversarial_toa_bias);
+  }
+}
+
+TEST(Adversarial, BlockedApLosesItsDirectPathButKeepsTruth) {
+  const Testbed tb = make_paper_testbed();
+  const Vec2 client{9.0, 6.0};
+  ScenarioConfig cfg;
+  cfg.los_block_probability = 0.0;  // isolate the adversarial block.
+  cfg.adversarial.num_blocked_aps = 2;
+  auto rng = rt::make_rng(421);
+  const auto ms = generate_measurements(tb, client, cfg, rng);
+  int blocked = 0;
+  for (const ApMeasurement& m : ms) {
+    // Truth always reflects the pristine geometric direct path.
+    EXPECT_NEAR(m.true_direct_aoa_deg, m.pose.aoa_of_point(client), 1e-9);
+    if (!m.adversarial_blocked) continue;
+    ++blocked;
+    // The erased direct path: every surviving path arrives later than
+    // the geometric LoS would have.
+    const double los_toa =
+        channel::distance(m.pose.position, client) / dsp::kSpeedOfLight;
+    for (const channel::Path& p : m.paths) {
+      EXPECT_GT(p.toa_s, los_toa + 1e-12);
+    }
+  }
+  EXPECT_EQ(blocked, 2);
+}
+
+TEST(Adversarial, ToaBiasDelaysOnlyTheDirectPath) {
+  const Testbed tb = make_paper_testbed();
+  const Vec2 client{6.5, 4.0};
+  ScenarioConfig cfg;
+  cfg.los_block_probability = 0.0;
+  cfg.adversarial.num_toa_bias_aps = 1;
+  cfg.adversarial.toa_bias_s = 80e-9;
+  auto rng = rt::make_rng(422);
+  const auto ms = generate_measurements(tb, client, cfg, rng);
+  int biased = 0;
+  for (const ApMeasurement& m : ms) {
+    if (!m.adversarial_toa_bias) continue;
+    ++biased;
+    const double los_toa =
+        channel::distance(m.pose.position, client) / dsp::kSpeedOfLight;
+    // The direct path (the one at the geometric LoS AoA) arrives late by
+    // the configured bias; reflections are untouched, so the direct may
+    // no longer be first.
+    bool found_direct = false;
+    for (const channel::Path& p : m.paths) {
+      if (std::abs(p.aoa_deg - m.true_direct_aoa_deg) < 1e-9) {
+        EXPECT_NEAR(p.toa_s, los_toa + cfg.adversarial.toa_bias_s, 1e-12);
+        found_direct = true;
+      }
+    }
+    EXPECT_TRUE(found_direct);
+    // Paths stay sorted by ToA after the re-sort.
+    for (std::size_t i = 1; i < m.paths.size(); ++i) {
+      EXPECT_LE(m.paths[i - 1].toa_s, m.paths[i].toa_s);
+    }
+  }
+  EXPECT_EQ(biased, 1);
+}
+
+TEST(Adversarial, WrongPeakBoostsAReflectionAboveTheDirect) {
+  const Testbed tb = make_paper_testbed();
+  const Vec2 client{12.0, 8.0};
+  ScenarioConfig cfg;
+  cfg.los_block_probability = 0.0;
+  cfg.adversarial.wrong_peak_probability = 1.0;  // every AP corrupted.
+  auto rng = rt::make_rng(423);
+  const auto ms = generate_measurements(tb, client, cfg, rng);
+  for (const ApMeasurement& m : ms) {
+    if (!m.adversarial_wrong_peak) continue;  // single-path link corner.
+    const double direct = std::abs(m.paths.front().gain);
+    double strongest = 0.0;
+    for (std::size_t i = 1; i < m.paths.size(); ++i) {
+      strongest = std::max(strongest, std::abs(m.paths[i].gain));
+    }
+    // The boost enforces the configured amplitude ratio, which puts the
+    // direct path's relative power under the estimator's 0.4 gate.
+    EXPECT_GE(strongest, cfg.adversarial.wrong_peak_boost * direct - 1e-12);
+  }
+  EXPECT_TRUE(std::any_of(ms.begin(), ms.end(), [](const ApMeasurement& m) {
+    return m.adversarial_wrong_peak;
+  }));
+}
+
+TEST(Adversarial, SelectionIsDeterministicGivenSeed) {
+  const Testbed tb = make_paper_testbed();
+  ScenarioConfig cfg;
+  cfg.adversarial.num_blocked_aps = 1;
+  cfg.adversarial.num_toa_bias_aps = 1;
+  cfg.adversarial.wrong_peak_probability = 0.3;
+  auto rng1 = rt::make_rng(424);
+  auto rng2 = rt::make_rng(424);
+  const auto a = generate_measurements(tb, {9.0, 6.0}, cfg, rng1);
+  const auto b = generate_measurements(tb, {9.0, 6.0}, cfg, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].adversarial_blocked, b[i].adversarial_blocked);
+    EXPECT_EQ(a[i].adversarial_toa_bias, b[i].adversarial_toa_bias);
+    EXPECT_EQ(a[i].adversarial_wrong_peak, b[i].adversarial_wrong_peak);
+    rt::expect_mat_near(a[i].burst.csi[0], b[i].burst.csi[0], 0.0,
+                        "adversarial determinism");
+  }
+  // Blocked and biased sets are disjoint by construction.
+  for (const ApMeasurement& m : a) {
+    EXPECT_FALSE(m.adversarial_blocked && m.adversarial_toa_bias);
+  }
 }
 
 }  // namespace
